@@ -1,0 +1,140 @@
+"""[A2] Ablation: EWO write batching (paper section 7).
+
+"Generating write requests for replication consumes available bandwidth
+which may be substantial especially in write-intensive workloads.
+Batching write requests may alleviate this issue at the expense of
+reduced availability and consistency."
+
+The experiment drives a fixed increment workload at several batch sizes
+and measures replication bandwidth (update packets and bytes on the
+wire) against staleness — the mean lag between a local write and all
+replicas reflecting it.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.manager import SwiShmemDeployment
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_us, print_header, print_table
+
+WRITES = 300
+WRITE_GAP = 20e-6
+
+
+@dataclass
+class BatchingResult:
+    batch_size: int
+    update_packets: int
+    replication_bytes: int
+    mean_staleness: float
+    max_staleness: float
+
+
+def run_point(batch_size: int, seed: int = 33) -> BatchingResult:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
+    deployment = SwiShmemDeployment(sim, topo, switches, sync_period=50e-3)
+    spec = deployment.declare(
+        RegisterSpec(
+            "ctr",
+            Consistency.EWO,
+            ewo_mode=EwoMode.COUNTER,
+            capacity=16,
+            ewo_batch_size=batch_size,
+        )
+    )
+    staleness_samples: List[float] = []
+    write_times: dict = {}
+
+    def write(i: int) -> None:
+        deployment.manager("s0").register_increment(spec, "k", 1)
+        write_times[i + 1] = sim.now  # running total after this write
+
+    def probe() -> None:
+        # watch s1's view; when its value advances to v, every write up
+        # to v has propagated: staleness(v) = now - write_time(v)
+        value = deployment.manager("s1").ewo.local_state(spec.group_id).get("k", 0)
+        while probe.seen < value:
+            probe.seen += 1
+            staleness_samples.append(sim.now - write_times[probe.seen])
+        if sim.now < WRITES * WRITE_GAP + 60e-3:
+            sim.schedule(5e-6, probe)
+
+    probe.seen = 0
+    for i in range(WRITES):
+        sim.schedule(i * WRITE_GAP, write, i)
+    sim.schedule(0.0, probe)
+    start_bytes = topo.total_bytes_sent()
+    sim.run(until=WRITES * WRITE_GAP + 70e-3)
+    replication_bytes = topo.total_bytes_sent() - start_bytes
+    stats = deployment.manager("s0").ewo.stats_for(spec.group_id)
+    return BatchingResult(
+        batch_size=batch_size,
+        update_packets=stats.update_packets_sent,
+        replication_bytes=replication_bytes,
+        mean_staleness=sum(staleness_samples) / len(staleness_samples) if staleness_samples else float("inf"),
+        max_staleness=max(staleness_samples) if staleness_samples else float("inf"),
+    )
+
+
+def run_experiment() -> List[BatchingResult]:
+    return [run_point(b) for b in (1, 4, 16, 64)]
+
+
+def report(results: List[BatchingResult]) -> None:
+    print_header(
+        "A2",
+        "Ablation: EWO update batching — bandwidth vs staleness",
+        "batching reduces replication bandwidth at the expense of "
+        "consistency (staleness grows with batch size)",
+    )
+    print_table(
+        ["batch", "update packets", "replication bytes", "mean staleness", "max staleness"],
+        [
+            (
+                r.batch_size,
+                r.update_packets,
+                r.replication_bytes,
+                fmt_us(r.mean_staleness),
+                fmt_us(r.max_staleness),
+            )
+            for r in results
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_batching_tradeoff(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    # packets fall ~linearly with batch size
+    packets = [r.update_packets for r in results]
+    assert packets[0] == WRITES
+    assert packets == sorted(packets, reverse=True)
+    assert packets[0] / packets[-1] >= 32
+    # bytes fall too (headers amortized), though less than packet count
+    byte_counts = [r.replication_bytes for r in results]
+    assert byte_counts[0] > byte_counts[-1]
+    # staleness grows with batch size
+    staleness = [r.mean_staleness for r in results]
+    assert staleness == sorted(staleness)
+    assert staleness[-1] > 5 * staleness[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_benchmark_batching(benchmark):
+    benchmark.pedantic(lambda: run_point(16), rounds=1, iterations=1)

@@ -1,0 +1,169 @@
+"""[A1] Ablation: pending-bit slot sharing (paper section 7).
+
+"Since these state elements only protect other state updates, multiple
+keys can share the same sequence number and in-progress bit, reducing
+state requirements further."
+
+The trade: fewer slots cost less switch memory but cause *false
+sharing* — a read of key A is forwarded to the tail because key B,
+hashing to the same slot, has a write in flight.  The experiment sweeps
+the sharing factor (keys per slot) and measures protocol memory against
+the forwarded-read rate under a fixed read/write workload.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.manager import Decision, SwiShmemDeployment
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.packet import make_udp_packet
+from repro.net.topology import Topology, build_full_mesh
+from repro.nf.base import NetworkFunction
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_pct, print_header, print_table
+
+KEYS = 512
+
+
+class KeyReaderNF(NetworkFunction):
+    """Reads the register keyed by the packet's destination port."""
+
+    PENDING_SLOTS = None
+
+    @classmethod
+    def build_specs(cls, **kwargs):
+        return [
+            RegisterSpec(
+                "table",
+                Consistency.SRO,
+                capacity=KEYS,
+                pending_slots=cls.PENDING_SLOTS,
+                control_plane_state=True,
+            )
+        ]
+
+    def process(self, ctx):
+        key = f"key{ctx.packet.udp.dst_port % KEYS}" if ctx.packet.udp else None
+        if key is not None:
+            self.handles["table"].read(key)
+        return Decision.forward()
+
+
+@dataclass
+class SharingResult:
+    slots: int
+    sharing_factor: float
+    pending_bytes: int
+    reads: int
+    forwarded: int
+    forwarded_fraction: float
+
+
+def run_point(slots: int, seed: int = 23) -> SharingResult:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    switches = build_full_mesh(
+        topo, lambda n: PisaSwitch(n, sim, control_op_latency=150e-6), 3
+    )
+    book = AddressBook()
+    src = topo.add_node(EndHost("src", sim, "10.0.0.1", book))
+    dst = topo.add_node(EndHost("dst", sim, "10.0.0.2", book))
+    topo.connect("src", "s1")
+    topo.connect("dst", "s2")
+    deployment = SwiShmemDeployment(sim, topo, switches, address_book=book)
+
+    nf_class = type(f"Reader{slots}", (KeyReaderNF,), {"PENDING_SLOTS": slots})
+    deployment.install_nf(nf_class)
+    spec = deployment.spec_by_name("table")
+
+    # background writers keep a few keys' slots pending most of the time
+    def write_loop(i=0):
+        if sim.now > 0.04:
+            return
+        deployment.manager("s0").register_write(spec, f"key{i % 8}", i)
+        sim.schedule(400e-6, write_loop, i + 1)
+
+    sim.schedule(0.0, write_loop)
+    # readers touch uniformly random *other* keys
+    reader_rng = SeededRng(seed).stream("reader")
+    for i in range(400):
+        port = 8 + reader_rng.randrange(KEYS - 8)
+        sim.schedule(
+            11e-6 + i * 90e-6,
+            lambda p=port: src.inject(make_udp_packet("10.0.0.1", "10.0.0.2", 1, p)),
+        )
+    sim.run(until=0.08)
+    stats = [
+        deployment.manager(n).sro.stats_for(spec.group_id)
+        for n in deployment.switch_names
+    ]
+    reads = sum(s.local_reads + s.forwarded_reads + s.tail_reads for s in stats)
+    forwarded = sum(s.forwarded_reads for s in stats)
+    state = deployment.manager("s0").sro.groups[spec.group_id]
+    return SharingResult(
+        slots=slots,
+        sharing_factor=KEYS / slots,
+        pending_bytes=state.pending.state_bytes,
+        reads=reads,
+        forwarded=forwarded,
+        forwarded_fraction=forwarded / reads if reads else 0.0,
+    )
+
+
+def run_experiment() -> List[SharingResult]:
+    return [run_point(slots) for slots in (512, 128, 32, 8, 2)]
+
+
+def report(results: List[SharingResult]) -> None:
+    print_header(
+        "A1",
+        "Ablation: pending-bit slot sharing vs false-sharing read forwards",
+        "sharing slots reduces protocol state at the cost of spurious "
+        "tail-forwarded reads",
+    )
+    print_table(
+        ["slots", "keys/slot", "pending-table bytes", "reads", "forwarded", "forwarded %"],
+        [
+            (
+                r.slots,
+                f"{r.sharing_factor:.0f}",
+                r.pending_bytes,
+                r.reads,
+                r.forwarded,
+                fmt_pct(r.forwarded_fraction),
+            )
+            for r in results
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_pending_sharing_tradeoff(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    # memory shrinks monotonically with slot count
+    memories = [r.pending_bytes for r in results]
+    assert memories == sorted(memories, reverse=True)
+    # false sharing rises as slots shrink: the most shared config
+    # forwards a much larger fraction of reads than the dedicated one
+    dedicated, most_shared = results[0], results[-1]
+    assert most_shared.forwarded_fraction > 4 * max(dedicated.forwarded_fraction, 1e-9)
+    assert most_shared.forwarded_fraction > 0.05
+    # dedicated slots forward (almost) nothing for disjoint keys
+    assert dedicated.forwarded_fraction < 0.02
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_benchmark_pending_sharing(benchmark):
+    benchmark.pedantic(lambda: run_point(32), rounds=1, iterations=1)

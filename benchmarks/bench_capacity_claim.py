@@ -1,0 +1,144 @@
+"""[C1] Section 3.1 capacity claim: switch vs. software middlebox.
+
+"Whereas a software-based load balancer can process approximately 15
+million packets per second on a single server, a single switch can
+process 5 billion packets per second … several hundred times as many
+packets."
+
+Both processors are simulated with the same finite-service-rate queue
+model (the PISA switch with ``pipeline_rate_pps``); only the service
+rates differ.  Absolute rates are scaled down 1000x so the simulation
+stays laptop-sized — the claim under test is the *ratio* (~333x) and
+the saturation behavior, both scale-free.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.packet import make_udp_packet
+from repro.net.routing import RoutingTable
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_rate, print_header, print_table
+
+#: Paper numbers (pps) and the 1000x simulation scale factor.
+SWITCH_PPS = 5e9
+SERVER_PPS = 15e6
+SCALE = 1e-3
+
+
+@dataclass
+class CapacityResult:
+    name: str
+    service_pps: float
+    offered_pps: float
+    delivered_pps: float
+    drop_fraction: float
+
+
+def _run_one(name: str, service_pps: float, offered_pps: float, duration: float = 0.05) -> CapacityResult:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(31))
+    book = AddressBook()
+    node = topo.add_node(
+        PisaSwitch(
+            name, sim, pipeline_rate_pps=service_pps, queue_capacity=256
+        )
+    )
+    src = topo.add_node(EndHost("src", sim, "10.0.0.1", book))
+    dst = topo.add_node(EndHost("dst", sim, "10.0.0.2", book))
+    topo.connect("src", name, bandwidth_bps=1e12)
+    topo.connect(name, "dst", bandwidth_bps=1e12)
+    node.routing = RoutingTable(topo)
+    node.address_book = book
+    count = int(offered_pps * duration)
+    gap = 1.0 / offered_pps
+    for i in range(count):
+        sim.schedule(
+            i * gap,
+            lambda: src.inject(make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2, payload_size=64)),
+        )
+    # Cut measurement off exactly at the offered-load window so the
+    # delivered rate is comparable to the service rate.
+    sim.run(until=duration)
+    delivered = len(dst.received)
+    return CapacityResult(
+        name=name,
+        service_pps=service_pps,
+        offered_pps=offered_pps,
+        delivered_pps=delivered / duration,
+        drop_fraction=1.0 - delivered / count,
+    )
+
+
+def run_experiment():
+    switch_rate = SWITCH_PPS * SCALE
+    server_rate = SERVER_PPS * SCALE
+    results = []
+    # Offered load below server capacity: both keep up.
+    low = server_rate * 0.5
+    results.append(_run_one("server-lb", server_rate, low))
+    results.append(_run_one("switch-lb", switch_rate, low))
+    # Offered load 20x server capacity: server saturates, switch does not.
+    high = server_rate * 20
+    results.append(_run_one("server-lb", server_rate, high))
+    results.append(_run_one("switch-lb", switch_rate, high))
+    return results
+
+
+def report(results):
+    print_header(
+        "C1",
+        "Section 3.1: switch vs server packet-processing capacity (scaled 1000x)",
+        "a switch processes several hundred times as many packets per second "
+        "(5 Gpps vs 15 Mpps ~ 333x)",
+    )
+    print_table(
+        ["processor", "service rate", "offered", "delivered", "drops"],
+        [
+            (
+                r.name,
+                fmt_rate(r.service_pps / SCALE),
+                fmt_rate(r.offered_pps / SCALE),
+                fmt_rate(r.delivered_pps / SCALE),
+                f"{r.drop_fraction * 100:.1f}%",
+            )
+            for r in results
+        ],
+    )
+    ratio = SWITCH_PPS / SERVER_PPS
+    print(f"capacity ratio switch/server = {ratio:.0f}x (paper: 'several hundred times')")
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_capacity_shape_matches_paper(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    server_low, switch_low, server_high, switch_high = (
+        results[0], results[1], results[2], results[3]
+    )
+    # Under light load both deliver everything.
+    assert server_low.drop_fraction < 0.01
+    assert switch_low.drop_fraction < 0.01
+    # Under 20x-server load, the server saturates at its service rate...
+    assert server_high.drop_fraction > 0.5
+    assert server_high.delivered_pps == pytest.approx(server_high.service_pps, rel=0.1)
+    # ...while the switch is untroubled.
+    assert switch_high.drop_fraction < 0.01
+    # The headline ratio is "several hundred times".
+    assert 300 <= SWITCH_PPS / SERVER_PPS <= 400
+
+
+@pytest.mark.benchmark(group="capacity")
+def test_benchmark_capacity(benchmark):
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)

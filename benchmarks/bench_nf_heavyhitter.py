@@ -1,0 +1,197 @@
+"""[N5] Network-wide heavy hitters: SwiShmem vs controller-based.
+
+Paper section 8: "SwiShmem can be used to implement similar
+[distributed heavy-hitter] algorithms while eliminating the need for a
+centralized controller, thus potentially providing faster response."
+
+The same detector runs two ways over identical skewed traffic spread
+across a 3-switch cluster:
+
+* **SwiShmem (EWO counters)** — every switch reads the merged global
+  count per packet and detects locally;
+* **controller-based (Harrison-style)** — local counters, per-switch
+  trigger reports at threshold/N, a coordinator aggregates (one
+  control-plane op per report plus an RTT).
+
+Measured: detection latency relative to the true crossing instant, and
+communication with the central controller (which SwiShmem reduces to
+zero by construction).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.manager import SwiShmemDeployment
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.packet import make_udp_packet
+from repro.net.topology import Topology, build_leaf_spine
+from repro.nf.heavyhitter import (
+    ControllerHeavyHitterNF,
+    HeavyHitterCoordinator,
+    HeavyHitterNF,
+)
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_us, print_header, print_table
+
+THRESHOLD = 60
+HEAVY_SRC = "66.6.6.6"
+PACKET_GAP = 40e-6
+ENTRY_LEAVES = 3
+
+
+@dataclass
+class HhResult:
+    mode: str
+    detected: bool
+    detection_latency: Optional[float]
+    controller_reports: int
+    controller_bytes: int
+
+
+def _build_world(seed: int):
+    """Leaf/spine fabric: the heavy source's packets enter through three
+    different leaves, so no counting switch sees more than ~1/3 of them."""
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    book = AddressBook()
+    hosts = []
+
+    def host_factory(name):
+        if name.startswith(f"h{ENTRY_LEAVES}"):
+            ip = "192.168.0.1"
+        else:
+            ip = f"10.0.0.{len(hosts) + 1}"
+        host = EndHost(name, sim, ip, book)
+        hosts.append(host)
+        return host
+
+    leaves, spines, host_list = build_leaf_spine(
+        topo, lambda n: PisaSwitch(n, sim), host_factory,
+        leaves=ENTRY_LEAVES + 1, spines=2, hosts_per_leaf=1,
+    )
+    deployment = SwiShmemDeployment(sim, topo, leaves + spines, address_book=book)
+    clients = [h for h in host_list if h.ip.startswith("10.")]
+    server = next(h for h in host_list if h.ip.startswith("192.168"))
+    return sim, deployment, clients, server
+
+
+def _drive(sim, clients, server) -> float:
+    """Heavy flow spread over the entry leaves + light background.
+
+    Returns the true time the aggregate count crossed THRESHOLD.
+    """
+    cross_time = None
+    for i in range(THRESHOLD + 30):
+        client = clients[i % len(clients)]
+        at = i * PACKET_GAP
+        sim.schedule(
+            at,
+            lambda c=client, p=4000 + i % 8: c.inject(
+                make_udp_packet(HEAVY_SRC, server.ip, p, 2, payload_size=64)
+            ),
+        )
+        if i + 1 == THRESHOLD:
+            cross_time = at
+    for i in range(40):
+        client = clients[i % len(clients)]
+        sim.schedule(
+            i * 90e-6,
+            lambda c=client, s=f"8.8.{i % 5}.1": c.inject(
+                make_udp_packet(s, server.ip, 1, 2, payload_size=64)
+            ),
+        )
+    return cross_time
+
+
+def run_swishmem(seed: int = 41) -> HhResult:
+    sim, deployment, clients, server = _build_world(seed)
+    instances = deployment.install_nf(HeavyHitterNF, threshold=THRESHOLD)
+    cross = _drive(sim, clients, server)
+    sim.run(until=0.05)
+    times = [i.detected[HEAVY_SRC] for i in instances if HEAVY_SRC in i.detected]
+    return HhResult(
+        mode="SwiShmem (EWO counters)",
+        detected=bool(times),
+        detection_latency=(min(times) - cross) if times else None,
+        controller_reports=0,
+        controller_bytes=0,
+    )
+
+
+def run_controller(seed: int = 41, rtt: float = 500e-6) -> HhResult:
+    sim, deployment, clients, server = _build_world(seed)
+    coordinator = HeavyHitterCoordinator(sim, threshold=THRESHOLD, rtt=rtt)
+    deployment.install_nf(
+        ControllerHeavyHitterNF, threshold=THRESHOLD, coordinator=coordinator
+    )
+    cross = _drive(sim, clients, server)
+    sim.run(until=0.05)
+    detected_at = coordinator.detected.get(HEAVY_SRC)
+    return HhResult(
+        mode=f"controller (rtt {rtt * 1e6:.0f}us)",
+        detected=detected_at is not None,
+        detection_latency=(detected_at - cross) if detected_at is not None else None,
+        controller_reports=coordinator.reports_received,
+        controller_bytes=coordinator.report_bytes,
+    )
+
+
+def run_experiment() -> List[HhResult]:
+    return [
+        run_swishmem(),
+        run_controller(rtt=500e-6),
+        run_controller(rtt=2e-3),
+    ]
+
+
+def report(results: List[HhResult]) -> None:
+    print_header(
+        "N5",
+        "Distributed heavy hitters: shared counters vs central controller",
+        "SwiShmem eliminates the controller, 'potentially providing "
+        "faster response' (section 8)",
+    )
+    print_table(
+        ["implementation", "detected", "latency past true crossing",
+         "controller reports", "controller bytes"],
+        [
+            (
+                r.mode,
+                r.detected,
+                fmt_us(r.detection_latency) if r.detection_latency is not None else "-",
+                r.controller_reports,
+                r.controller_bytes,
+            )
+            for r in results
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_heavyhitter_shape(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    swishmem, controller_fast, controller_slow = results
+    assert all(r.detected for r in results)
+    # the controller-free design responds faster, and degrades less as
+    # the controller gets farther away
+    assert swishmem.detection_latency < controller_fast.detection_latency
+    assert controller_fast.detection_latency <= controller_slow.detection_latency
+    # and it needs no controller communication at all
+    assert swishmem.controller_reports == 0
+    assert controller_fast.controller_reports > 0
+
+
+@pytest.mark.benchmark(group="nf")
+def test_benchmark_heavyhitter(benchmark):
+    benchmark.pedantic(run_swishmem, rounds=1, iterations=1)

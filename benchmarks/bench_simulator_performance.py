@@ -1,0 +1,114 @@
+"""[S1] Simulator performance: events/sec and packets/sec of the harness.
+
+Not a paper experiment — this benchmarks the *reproduction substrate*
+itself, so regressions in the simulation kernel or the switch pipeline
+show up in CI.  Unlike the experiment benchmarks (single-shot pedantic
+runs), these use real pytest-benchmark rounds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.manager import SwiShmemDeployment
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.packet import make_udp_packet
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_benchmark_event_throughput(benchmark):
+    """Raw kernel: schedule+dispatch 20k trivial events."""
+
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def bump():
+            counter[0] += 1
+
+        for i in range(20_000):
+            sim.schedule(i * 1e-7, bump)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_benchmark_forwarding_throughput(benchmark):
+    """Packets through a 3-switch mesh with plain L3 forwarding."""
+
+    def run():
+        sim = Simulator()
+        topo = Topology(sim, SeededRng(1))
+        book = AddressBook()
+        switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
+        src = topo.add_node(EndHost("src", sim, "10.0.0.1", book))
+        dst = topo.add_node(EndHost("dst", sim, "10.0.0.2", book))
+        topo.connect("src", "s0")
+        topo.connect("dst", "s2")
+        deployment = SwiShmemDeployment(sim, topo, switches, address_book=book)
+        for i in range(2_000):
+            sim.schedule(
+                i * 1e-6,
+                lambda: src.inject(make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2)),
+            )
+        sim.run(until=5e-3)
+        return len(dst.received)
+
+    assert benchmark(run) == 2_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_benchmark_ewo_replication_throughput(benchmark):
+    """Counter increments with per-write broadcast on a 3-switch group."""
+
+    def run():
+        sim = Simulator()
+        topo = Topology(sim, SeededRng(2))
+        switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
+        deployment = SwiShmemDeployment(sim, topo, switches, sync_period=10.0)
+        spec = deployment.declare(
+            RegisterSpec("c", Consistency.EWO, ewo_mode=EwoMode.COUNTER, capacity=64)
+        )
+        for i in range(1_000):
+            sim.schedule(
+                i * 1e-6,
+                lambda i=i: deployment.manager(f"s{i % 3}").register_increment(
+                    spec, f"k{i % 16}", 1
+                ),
+            )
+        sim.run(until=5e-3)
+        return sum(deployment.ewo_states(spec)[0].values())
+
+    assert benchmark(run) == 1_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_benchmark_sro_chain_throughput(benchmark):
+    """Chain-replicated writes end to end (request, 2 hops, acks)."""
+
+    def run():
+        sim = Simulator()
+        topo = Topology(sim, SeededRng(3))
+        switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
+        deployment = SwiShmemDeployment(sim, topo, switches, sync_period=10.0)
+        spec = deployment.declare(RegisterSpec("r", Consistency.SRO, capacity=64))
+        for i in range(300):
+            sim.schedule(
+                i * 30e-6,
+                lambda i=i: deployment.manager("s0").register_write(spec, f"k{i % 16}", i),
+            )
+        sim.run(until=0.05)
+        return deployment.manager("s0").sro.stats_for(spec.group_id).writes_committed
+
+    assert benchmark(run) == 300

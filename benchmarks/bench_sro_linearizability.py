@@ -1,0 +1,141 @@
+"""[P1] SRO: per-register linearizability and write cost vs chain length.
+
+Paper section 6.1: "SRO provides per-register linearizability, because
+writes are blocking and reads concurrent to writes are processed by the
+tail node.  Its write throughput is limited by the need to send packets
+through the control plane."
+
+The experiment runs concurrent writers and readers over chains of
+length 2..5, verifies every per-key history with the Wing-Gong checker,
+and measures write commit latency — which must grow with chain length
+and be dominated by the control-plane hop (the paper's stated cost).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.analysis.linearizability import check_history
+from repro.core.manager import SwiShmemDeployment
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.control import DEFAULT_OP_LATENCY
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_us, print_header, print_table
+
+
+@dataclass
+class ChainResult:
+    chain_length: int
+    writes: int
+    reads: int
+    mean_write_latency: float
+    linearizable_keys: int
+    checked_keys: int
+    violations: int
+
+
+def run_chain(length: int, seed: int = 77, keys: int = 4, writes_per_key: int = 6) -> ChainResult:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), length)
+    deployment = SwiShmemDeployment(sim, topo, switches, record_history=True)
+    spec = deployment.declare(RegisterSpec("reg", Consistency.SRO, capacity=64))
+    # concurrent writers on rotating switches, readers interleaved
+    for k in range(keys):
+        for i in range(writes_per_key):
+            writer = deployment.manager(f"s{(k + i) % length}")
+            sim.schedule(
+                i * 120e-6 + k * 13e-6,
+                lambda w=writer, k=k, i=i: w.register_write(spec, f"key{k}", i),
+            )
+    for k in range(keys):
+        for i in range(writes_per_key * 3):
+            reader = deployment.manager(f"s{i % length}")
+            sim.schedule(
+                5e-6 + i * 37e-6 + k * 7e-6,
+                lambda r=reader, k=k: _read(r, spec, f"key{k}"),
+            )
+    sim.run(until=0.2)
+    report = check_history(deployment.history)
+    stats = [
+        deployment.manager(name).sro.stats_for(spec.group_id)
+        for name in deployment.switch_names
+    ]
+    committed = sum(s.writes_committed for s in stats)
+    total_latency = sum(s.write_latency_sum for s in stats)
+    reads = sum(s.local_reads + s.tail_reads + s.forwarded_reads for s in stats)
+    return ChainResult(
+        chain_length=length,
+        writes=committed,
+        reads=reads,
+        mean_write_latency=total_latency / committed if committed else 0.0,
+        linearizable_keys=report.linearizable_keys,
+        checked_keys=report.checked_keys,
+        violations=len(report.violations),
+    )
+
+
+def _read(manager, spec, key):
+    from repro.core.registers import ReadForwarded
+
+    try:
+        manager.register_read(spec, key, None)
+    except ReadForwarded:
+        pass
+
+
+def run_experiment() -> List[ChainResult]:
+    return [run_chain(length) for length in (2, 3, 4, 5)]
+
+
+def report(results: List[ChainResult]) -> None:
+    print_header(
+        "P1",
+        "SRO linearizability and write cost vs chain length",
+        "SRO is linearizable; write cost dominated by the control-plane hop "
+        "and grows with chain length",
+    )
+    print_table(
+        ["chain", "writes", "reads", "mean write latency", "linearizable keys", "violations"],
+        [
+            (
+                r.chain_length,
+                r.writes,
+                r.reads,
+                fmt_us(r.mean_write_latency),
+                f"{r.linearizable_keys}/{r.checked_keys}",
+                r.violations,
+            )
+            for r in results
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_sro_linearizable_at_every_chain_length(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    for r in results:
+        assert r.violations == 0, f"chain {r.chain_length}: {r.violations} violations"
+        assert r.writes == 24  # 4 keys x 6 writes all committed
+
+    # Write latency includes at least the writer's control-plane op and
+    # grows monotonically with chain length.
+    latencies = [r.mean_write_latency for r in results]
+    assert all(lat > DEFAULT_OP_LATENCY for lat in latencies)
+    assert latencies == sorted(latencies)
+
+
+@pytest.mark.benchmark(group="sro")
+def test_benchmark_sro_chain3(benchmark):
+    benchmark.pedantic(lambda: run_chain(3), rounds=1, iterations=1)

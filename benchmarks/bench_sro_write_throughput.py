@@ -1,0 +1,143 @@
+"""[P5] SRO write-throughput ceiling (paper sections 6.1 and 9).
+
+Section 6.1: SRO's "write throughput is limited by the need to send
+packets through the control plane."  Section 9 names the consequence:
+"One current limitation of SwiShmem is the need for control plane
+involvement to achieve strongly consistent writes … some new in-network
+applications like sequencers have such data."
+
+The experiment offers an increasing write rate to one switch and
+measures committed-write throughput for
+
+* **SRO** at two control-plane op latencies (the ceiling must track
+  ~1/op_latency, because the writer's CPU serializes the punt+send);
+* **EWO** under the same offered load (no ceiling in this range), the
+  contrast that motivates the paper's consistency split.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.manager import SwiShmemDeployment
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+from benchmarks.common import fmt_rate, print_header, print_table
+
+DURATION = 50e-3
+
+
+@dataclass
+class ThroughputResult:
+    protocol: str
+    cpu_op_latency: float
+    offered_rate: float
+    committed_rate: float
+    efficiency: float
+
+
+def run_point(
+    protocol: str, offered_rate: float, cpu_op_latency: float = 20e-6, seed: int = 81
+) -> ThroughputResult:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    switches = build_full_mesh(
+        topo, lambda n: PisaSwitch(n, sim, control_op_latency=cpu_op_latency), 3
+    )
+    deployment = SwiShmemDeployment(sim, topo, switches, sync_period=5e-3)
+    if protocol == "sro":
+        spec = deployment.declare(RegisterSpec("reg", Consistency.SRO, capacity=64))
+    else:
+        spec = deployment.declare(
+            RegisterSpec("reg", Consistency.EWO, ewo_mode=EwoMode.COUNTER, capacity=64)
+        )
+    writer = deployment.manager("s0")
+    count = int(offered_rate * DURATION)
+    gap = 1.0 / offered_rate
+    for i in range(count):
+        if protocol == "sro":
+            sim.schedule(i * gap, lambda i=i: writer.register_write(spec, f"k{i % 16}", i))
+        else:
+            sim.schedule(i * gap, lambda i=i: writer.register_increment(spec, f"k{i % 16}", 1))
+    sim.run(until=DURATION)
+    if protocol == "sro":
+        committed = writer.sro.stats_for(spec.group_id).writes_committed
+    else:
+        committed = writer.ewo.stats_for(spec.group_id).local_writes
+    committed_rate = committed / DURATION
+    return ThroughputResult(
+        protocol=protocol.upper(),
+        cpu_op_latency=cpu_op_latency,
+        offered_rate=offered_rate,
+        committed_rate=committed_rate,
+        efficiency=committed_rate / offered_rate,
+    )
+
+
+def run_experiment() -> List[ThroughputResult]:
+    results = []
+    for offered in (10_000, 40_000, 80_000, 160_000):
+        results.append(run_point("sro", offered, cpu_op_latency=20e-6))
+    results.append(run_point("sro", 80_000, cpu_op_latency=40e-6))
+    results.append(run_point("ewo", 160_000, cpu_op_latency=20e-6))
+    return results
+
+
+def report(results: List[ThroughputResult]) -> None:
+    print_header(
+        "P5",
+        "SRO write-throughput ceiling vs control-plane speed (and EWO contrast)",
+        "SRO write throughput is limited by the control plane "
+        "(~1/op_latency); write-intensive data must use EWO",
+    )
+    print_table(
+        ["protocol", "cpu op", "offered", "committed", "efficiency"],
+        [
+            (
+                r.protocol,
+                f"{r.cpu_op_latency * 1e6:.0f}us",
+                fmt_rate(r.offered_rate),
+                fmt_rate(r.committed_rate),
+                f"{r.efficiency * 100:.0f}%",
+            )
+            for r in results
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_sro_throughput_ceiling_shape(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    sro_20 = [r for r in results if r.protocol == "SRO" and r.cpu_op_latency == 20e-6]
+    ceiling_20 = 1.0 / 20e-6  # one CPU op per write send
+    # below the ceiling: nearly all writes commit
+    assert sro_20[0].efficiency > 0.95
+    assert sro_20[1].efficiency > 0.90
+    # above the ceiling: committed rate saturates near 1/op_latency
+    saturated = sro_20[-1]
+    assert saturated.offered_rate > ceiling_20
+    assert saturated.committed_rate <= ceiling_20 * 1.1
+    assert saturated.committed_rate >= ceiling_20 * 0.6
+    # doubling the CPU op latency halves the ceiling
+    sro_40 = next(r for r in results if r.cpu_op_latency == 40e-6)
+    assert sro_40.committed_rate <= (1.0 / 40e-6) * 1.1
+    assert sro_40.committed_rate < saturated.committed_rate
+    # EWO takes the full offered load in stride
+    ewo = next(r for r in results if r.protocol == "EWO")
+    assert ewo.efficiency > 0.99
+
+
+@pytest.mark.benchmark(group="sro")
+def test_benchmark_sro_saturated(benchmark):
+    benchmark.pedantic(lambda: run_point("sro", 80_000), rounds=1, iterations=1)

@@ -1,0 +1,222 @@
+"""[T1] Table 1 reproduction: NF access patterns and consistency needs.
+
+Paper Table 1 classifies six NFs by write frequency, read frequency, and
+consistency requirement.  This experiment *measures* those columns: each
+NF runs on a 3-switch SwiShmem cluster under a representative workload,
+the access profiler counts per-packet reads/writes on every shared
+register group, and the paper's recommendation rule (Observations 1 and
+2) must reproduce the register type each NF was built with.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+sys.path.insert(0, ".")
+
+from repro.core.compiler import AccessProfiler, recommend_consistency
+from repro.core.registers import Consistency
+from repro.net.headers import TcpFlags
+from repro.net.packet import make_tcp_packet, make_udp_packet
+from repro.nf.ddos import DdosDetectorNF
+from repro.nf.firewall import FirewallNF
+from repro.nf.ips import IpsNF
+from repro.nf.loadbalancer import LoadBalancerNF
+from repro.nf.nat import NatNF
+from repro.nf.ratelimiter import RateLimiterNF
+from repro.workload.flows import FlowGenerator
+
+from benchmarks.common import print_header, print_table
+from tests.nfworld import build_nf_world
+
+VIP = "100.0.0.100"
+
+#: Paper Table 1, transcribed: state -> (write freq, read freq, consistency).
+PAPER_TABLE1 = {
+    "nat_table": ("New connection", "Every packet", "Strong"),
+    "fw_conntrack": ("New connection", "Every packet", "Strong"),
+    "ips_signatures": ("Low", "Every packet", "Weak"),
+    "lb_connections": ("New connection", "Every packet", "Strong"),
+    "ddos_src": ("Every packet", "Every packet", "Weak"),
+    "ddos_dst": ("Every packet", "Every packet", "Weak"),
+    "rl_usage": ("Every packet", "Every window", "Weak"),
+}
+
+#: The application-level consistency requirement (Table 1 last column),
+#: an input the profiler cannot infer from counts.
+NEEDS_STRONG = {
+    "nat_table": True,
+    "fw_conntrack": True,
+    "ips_signatures": False,
+    "lb_connections": True,
+    "ddos_src": False,
+    "ddos_dst": False,
+    "rl_usage": False,
+    "rl_blocked": False,
+    "ips_matches": False,
+}
+
+#: Register type each NF was built with (section 5 mapping).
+EXPECTED_TYPE = {
+    "nat_table": Consistency.SRO,
+    "fw_conntrack": Consistency.SRO,
+    "ips_signatures": Consistency.ERO,
+    "lb_connections": Consistency.SRO,
+    "ddos_src": Consistency.EWO,
+    "ddos_dst": Consistency.EWO,
+    "rl_usage": Consistency.EWO,
+}
+
+
+@dataclass
+class Table1Row:
+    nf: str
+    state: str
+    write_freq: str
+    read_freq: str
+    required: str
+    recommended: Consistency
+
+
+def _drive_flows(world, flows=25, data_packets=6, dst_ips=None, gap=2e-3):
+    """Drive TCP flows.  The default inter-packet gap (2 ms) models a
+    client that waits out the handshake RTT before sending data — data
+    packets must not race the connection-establishing chain write, or
+    every one of them would look like a new connection to the NF."""
+    generator = FlowGenerator(
+        world.sim,
+        world.clients,
+        dst_ips or world.server_ips(),
+        world.rng,
+        flow_rate=4000,
+        data_packets=data_packets,
+        inter_packet_gap=gap,
+    )
+    generator.start(duration=flows / 4000)
+    world.sim.run(until=0.2)
+    return generator
+
+
+def run_experiment() -> List[Table1Row]:
+    rows: List[Table1Row] = []
+
+    nf_state_names = {
+        "NAT": ("nat_table",),
+        "Firewall": ("fw_conntrack",),
+        "IPS": ("ips_signatures",),
+        "L4 load-balancer": ("lb_connections",),
+        "DDoS detection": ("ddos_src", "ddos_dst"),
+        "Rate limiter": ("rl_usage",),
+    }
+
+    def profile(nf_label, install, drive, responders=True):
+        world = build_nf_world(seed=1000 + len(rows), responder_servers=responders)
+        install(world)
+        profiler = AccessProfiler(world.deployment)
+        drive(world)
+        # Denominator: data packets the hosts actually injected (replies
+        # included), not per-hop or replication receives.
+        data_packets = sum(h.sent_count for h in world.clients + world.servers)
+        profiles = {
+            p.group_name: p
+            for p in profiler.profiles(needs_strong=NEEDS_STRONG, packets=data_packets)
+        }
+        for state_name in nf_state_names[nf_label]:
+            p = profiles[state_name]
+            write_label, read_label = p.frequency_label(per_packet_threshold=0.4)
+            rows.append(
+                Table1Row(
+                    nf=nf_label,
+                    state=state_name,
+                    write_freq=write_label,
+                    read_freq=read_label,
+                    required="Strong" if NEEDS_STRONG[state_name] else "Weak",
+                    recommended=recommend_consistency(p, write_intensive_threshold=0.4),
+                )
+            )
+
+    profile(
+        "NAT",
+        lambda w: (w.book.register("100.0.0.1", "egress"),
+                   w.deployment.install_nf(NatNF, nat_ip="100.0.0.1")),
+        lambda w: _drive_flows(w),
+    )
+    profile(
+        "Firewall",
+        lambda w: w.deployment.install_nf(FirewallNF),
+        lambda w: _drive_flows(w),
+    )
+
+    def drive_ips(world):
+        instances = world.deployment.managers[world.ingress.name].nfs
+        ips = instances[0]
+        ips.add_signature(0xBAD)  # the rare control-plane write
+        _drive_flows(world)
+
+    profile(
+        "IPS",
+        lambda w: w.deployment.install_nf(IpsNF),
+        drive_ips,
+        responders=False,
+    )
+    profile(
+        "L4 load-balancer",
+        lambda w: (w.book.register(VIP, "egress"),
+                   w.deployment.install_nf(LoadBalancerNF, vip=VIP, dips=["192.168.0.1", "192.168.0.2"])),
+        lambda w: _drive_flows(w, dst_ips=[VIP]),
+        responders=False,
+    )
+    profile(
+        "DDoS detection",
+        lambda w: w.deployment.install_nf(DdosDetectorNF),
+        lambda w: _drive_flows(w),
+        responders=False,
+    )
+    profile(
+        "Rate limiter",
+        # the enforcement window is long relative to the packet rate, so
+        # meter reads are measured as per-window, not per-packet
+        lambda w: w.deployment.install_nf(RateLimiterNF, limit_bps=1e9, window=20e-3),
+        lambda w: _drive_flows(w, gap=100e-6),
+        responders=False,
+    )
+    return rows
+
+
+def report(rows: List[Table1Row]) -> None:
+    print_header(
+        "T1",
+        "Table 1: NFs classified by access pattern and consistency",
+        "NAT/FW/LB: write on new connection, read every packet, strong; "
+        "IPS: low writes, weak; DDoS/rate limiter: write every packet, weak",
+    )
+    print_table(
+        ["NF", "State", "Write freq (measured)", "Read freq (measured)",
+         "Consistency", "SwiShmem type"],
+        [(r.nf, r.state, r.write_freq, r.read_freq, r.required,
+          r.recommended.value.upper()) for r in rows],
+    )
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_table1_shape_matches_paper(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(rows)
+    by_state = {r.state: r for r in rows}
+    for state, (write_freq, read_freq, consistency) in PAPER_TABLE1.items():
+        row = by_state[state]
+        assert row.write_freq == write_freq, f"{state}: write freq {row.write_freq} != {write_freq}"
+        assert row.read_freq == read_freq, f"{state}: read freq {row.read_freq} != {read_freq}"
+        assert row.required == consistency
+        assert row.recommended == EXPECTED_TYPE[state], (
+            f"{state}: recommended {row.recommended} != {EXPECTED_TYPE[state]}"
+        )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_benchmark_table1(benchmark):
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)

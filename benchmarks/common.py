@@ -1,0 +1,66 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark file reproduces one experiment from DESIGN.md's index
+(which in turn maps to a table, figure, or quantitative claim of the
+paper).  Conventions:
+
+* each file defines ``run_experiment(...)`` returning a result object,
+  a ``test_*`` that asserts the paper's qualitative *shape* (who wins,
+  by roughly what factor, where crossovers fall), and a
+  ``test_benchmark_*`` hooking the core computation into
+  pytest-benchmark;
+* results are printed as aligned tables via :func:`print_table` so
+  ``pytest benchmarks/ --benchmark-only -s`` regenerates every table
+  the repo reports in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+sys.path.insert(0, ".")  # so `tests.nfworld` resolves when run from repo root
+
+__all__ = ["print_table", "print_header", "fmt_us", "fmt_rate", "fmt_pct"]
+
+
+def print_header(experiment_id: str, title: str, paper_claim: str) -> None:
+    print()
+    print("=" * 78)
+    print(f"[{experiment_id}] {title}")
+    print(f"paper claim: {paper_claim}")
+    print("=" * 78)
+
+
+def print_table(columns: Sequence[str], rows: Iterable[Sequence[Any]], widths: Sequence[int] = None) -> None:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    if widths is None:
+        widths = [
+            max(len(str(col)), *(len(row[i]) for row in rows)) if rows else len(str(col))
+            for i, col in enumerate(columns)
+        ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.1f}us"
+
+
+def fmt_rate(per_second: float) -> str:
+    if per_second >= 1e9:
+        return f"{per_second / 1e9:.2f}G/s"
+    if per_second >= 1e6:
+        return f"{per_second / 1e6:.2f}M/s"
+    if per_second >= 1e3:
+        return f"{per_second / 1e3:.2f}K/s"
+    return f"{per_second:.2f}/s"
+
+
+def fmt_pct(fraction: float) -> str:
+    return f"{fraction * 100:.2f}%"

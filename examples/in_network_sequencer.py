@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""An in-network sequencer — the paper's hardest case, solved (§9).
+
+Section 9: "applications that require frequent writes and strong
+consistency are rare among traditional NFs, but some new in-network
+applications like sequencers have such data.  A way to implement
+buffering and retransmission in the data plane … would enable this
+support."
+
+This example composes the two §9 extensions this reproduction built:
+
+* linearizable **fetch-add** — the chain head assigns each packet the
+  next global number, wherever the packet entered;
+* **data-plane write buffering** — the packet recirculates until the
+  chain commits, so no control-plane CPU touches the fast path.
+
+Packets from four clients are sequenced, delivered, and audited:
+unique, gap-free, and zero CPU operations across all switches.
+
+Run:  python examples/in_network_sequencer.py
+"""
+
+import sys
+
+sys.path.insert(0, ".")
+
+from repro.net.packet import make_udp_packet
+from repro.nf.sequencer import SequencerNF
+
+from repro.testing import build_nf_world
+
+PACKETS = 24
+SEQ_PORT = 9000
+
+
+def main() -> None:
+    world = build_nf_world(
+        seed=31, cluster_size=3, clients=4, servers=1, responder_servers=False
+    )
+    world.deployment.install_nf(SequencerNF, sequenced_port=SEQ_PORT, dataplane=True)
+    sim, server = world.sim, world.servers[0]
+
+    for i in range(PACKETS):
+        client = world.clients[i % len(world.clients)]
+        sim.schedule(
+            i * 60e-6,
+            lambda c=client, p=5000 + i: c.inject(
+                make_udp_packet(c.ip, server.ip, p, SEQ_PORT, payload_size=64)
+            ),
+        )
+    sim.run(until=0.1)
+
+    stamps = [(r.packet.ipv4.identification, r.packet.five_tuple().src_ip)
+              for r in server.received]
+    print(f"delivered {len(stamps)}/{PACKETS} sequenced packets:\n")
+    for number, src in sorted(stamps):
+        print(f"  seq {number:>3}  from {src}")
+
+    numbers = sorted(n for n, _ in stamps)
+    gap_free = numbers == list(range(1, PACKETS + 1))
+    cpu_ops = sum(s.control.ops_executed for s in world.switches)
+    spec = world.deployment.spec_by_name("seq_counter")
+    recircs = sum(
+        world.deployment.manager(name).sro.dp_recirculations
+        for name in world.deployment.switch_names
+    )
+    print(f"\nunique: {len(set(numbers)) == PACKETS}, "
+          f"gap-free 1..{PACKETS}: {gap_free}")
+    print(f"control-plane CPU operations across all switches: {cpu_ops}")
+    print(f"recirculation passes spent holding packets: {recircs} "
+          f"(~{recircs / PACKETS:.0f} per packet — the pipeline-slot cost "
+          f"of CPU-free strong consistency)")
+
+
+if __name__ == "__main__":
+    main()

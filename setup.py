@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (offline editable installs use the setup.py develop
+path when PEP 517 is disabled)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,195 @@
+"""Measurement collectors shared by the experiments.
+
+Small, dependency-free statistics helpers: latency/size samples with
+percentiles, windowed rate meters, and staleness/convergence probes for
+eventually consistent state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SampleSeries",
+    "RateMeter",
+    "convergence_time",
+    "count_stale_reads",
+    "replica_divergence",
+]
+
+
+class SampleSeries:
+    """A series of numeric samples with summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+
+class RateMeter:
+    """Counts events against elapsed simulation time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.events = 0
+        self.units = 0.0
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def mark(self, now: float, units: float = 1.0) -> None:
+        if self._start is None:
+            self._start = now
+        self._end = now
+        self.events += 1
+        self.units += units
+
+    def rate(self, window: Optional[float] = None) -> float:
+        """Events per second over the observed (or given) window."""
+        if self._start is None or self._end is None:
+            return 0.0
+        elapsed = window if window is not None else (self._end - self._start)
+        if elapsed <= 0:
+            return 0.0
+        return self.events / elapsed
+
+    def unit_rate(self, window: Optional[float] = None) -> float:
+        """Units (e.g. bytes) per second."""
+        if self._start is None or self._end is None:
+            return 0.0
+        elapsed = window if window is not None else (self._end - self._start)
+        if elapsed <= 0:
+            return 0.0
+        return self.units / elapsed
+
+
+def count_stale_reads(recorder, group: Optional[int] = None, key: Any = None) -> int:
+    """Stale reads in a recorded history: a completed read returning a
+    value older than one already returned by an earlier-completed read
+    of the same (group, key).
+
+    This is the ERO/EWO inconsistency metric (experiment P2): it counts
+    user-visible time-travel, which linearizable protocols must never
+    exhibit.  Values must be mutually comparable per key (the recorders
+    in this repo write monotone integers in the experiments that use
+    this).
+    """
+    floors: Dict[Any, Any] = {}
+    stale = 0
+    ops = sorted(
+        (op for op in recorder.operations() if op.complete and op.kind == "read"),
+        key=lambda op: op.completed_at,
+    )
+    for op in ops:
+        if group is not None and op.group != group:
+            continue
+        if key is not None and op.key != key:
+            continue
+        if op.value is None:
+            continue
+        marker = (op.group, repr(op.key))
+        floor = floors.get(marker)
+        if floor is not None and op.value < floor:
+            stale += 1
+        else:
+            floors[marker] = op.value
+    return stale
+
+
+def replica_divergence(states: Sequence[Dict[Any, Any]]) -> int:
+    """How many keys disagree across a set of replica state dicts."""
+    all_keys = set()
+    for state in states:
+        all_keys.update(state.keys())
+    divergent = 0
+    for key in all_keys:
+        values = {repr(state.get(key)) for state in states}
+        if len(values) > 1:
+            divergent += 1
+    return divergent
+
+
+def convergence_time(
+    sim,
+    probe: Callable[[], bool],
+    interval: float,
+    timeout: float,
+) -> Optional[float]:
+    """Run the simulator until ``probe()`` is True; return elapsed time.
+
+    Polls every ``interval`` simulated seconds; returns None if the
+    probe never fires within ``timeout``.  Used by the EWO convergence
+    experiments ("how long after the last write until all replicas
+    agree").
+    """
+    start = sim.now
+    deadline = start + timeout
+    while sim.now < deadline:
+        next_stop = min(sim.now + interval, deadline)
+        sim.run(until=next_stop)
+        if probe():
+            return sim.now - start
+    return None

@@ -1,0 +1,62 @@
+"""SwiShmem core: register abstractions, per-switch runtime, deployment facade."""
+
+from repro.core.chain import ChainDescriptor
+from repro.core.compiler import (
+    AccessProfile,
+    AccessProfiler,
+    SingleSwitchProgram,
+    distribute,
+    recommend_consistency,
+)
+from repro.core.directory import DirectoryService, MigrationRecord, PlacementEntry
+from repro.core.manager import (
+    Decision,
+    PacketContext,
+    SwiShmemDeployment,
+    SwiShmemManager,
+)
+from repro.core.merge import (
+    is_mergeable,
+    merge_counter_vectors,
+    merge_last_writer_wins,
+    merge_value,
+)
+from repro.core.pending import PendingTable, stable_slot_hash
+from repro.core.registers import (
+    Consistency,
+    EwoMode,
+    FetchAdd,
+    ReadForwarded,
+    RegisterHandle,
+    RegisterSpec,
+    WriteError,
+)
+
+__all__ = [
+    "ChainDescriptor",
+    "AccessProfile",
+    "AccessProfiler",
+    "SingleSwitchProgram",
+    "distribute",
+    "recommend_consistency",
+    "DirectoryService",
+    "MigrationRecord",
+    "PlacementEntry",
+    "Decision",
+    "PacketContext",
+    "SwiShmemDeployment",
+    "SwiShmemManager",
+    "is_mergeable",
+    "merge_counter_vectors",
+    "merge_last_writer_wins",
+    "merge_value",
+    "PendingTable",
+    "stable_slot_hash",
+    "Consistency",
+    "EwoMode",
+    "FetchAdd",
+    "ReadForwarded",
+    "RegisterHandle",
+    "RegisterSpec",
+    "WriteError",
+]

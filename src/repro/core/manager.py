@@ -1,0 +1,615 @@
+"""The SwiShmem runtime: per-switch manager and deployment facade.
+
+Two classes make up the paper's "one big switch" abstraction:
+
+* :class:`SwiShmemManager` — one per switch.  It owns the protocol
+  engines (SRO/ERO chain, EWO broadcast+sync), installs the replication
+  packet handler in front of NF code, supplies NFs with
+  :class:`~repro.core.registers.RegisterHandle` objects, and mediates
+  every register access: collecting SRO write sets, applying EWO writes
+  inline, and forwarding reads that hit pending slots.
+
+* :class:`SwiShmemDeployment` — one per experiment.  It wires a set of
+  :class:`~repro.switch.pisa.PisaSwitch` nodes into a single logical NF
+  processor: shared routing, multicast groups, chain descriptors, clock
+  distribution, the central controller, and NF installation on every
+  switch.  Experiments declare register groups once; the deployment
+  replicates them everywhere ("we begin by assuming that each register
+  is replicated on every switch", section 5).
+
+NF programs interact only with :class:`PacketContext` and
+:class:`RegisterHandle` — they cannot tell which switch they run on,
+which is the entire point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.analysis.history import HistoryRecorder
+from repro.core.chain import ChainDescriptor
+from repro.core.registers import (
+    Consistency,
+    ReadForwarded,
+    RegisterHandle,
+    RegisterSpec,
+)
+from repro.crdt.clock import HybridClock
+from repro.net.endhost import AddressBook
+from repro.net.headers import SwiShmemOp
+from repro.net.multicast import MulticastRegistry
+from repro.net.packet import Packet
+from repro.net.routing import RoutingTable
+from repro.net.topology import Topology
+from repro.protocols.ewo import EwoEngine
+from repro.protocols.messages import WriteToken
+from repro.protocols.sro import SroEngine
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.switch.pisa import PisaSwitch
+from repro.switch.pktgen import PacketGenerator
+
+__all__ = ["Decision", "PacketContext", "SwiShmemManager", "SwiShmemDeployment"]
+
+#: Bound on per-switch clock offset, modeling data-plane time sync
+#: "down to tens of nanoseconds" (paper section 6.2).
+DEFAULT_CLOCK_SKEW = 50e-9
+
+#: Default EWO packet-generator sync period (paper's 1 ms example).
+DEFAULT_SYNC_PERIOD = 1e-3
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What an NF wants done with the packet it just processed."""
+
+    kind: str  # "forward_ip" | "forward_node" | "drop" | "consume"
+    dst_node: Optional[str] = None
+
+    FORWARD_IP = "forward_ip"
+    FORWARD_NODE = "forward_node"
+    DROP = "drop"
+    #: The NF already disposed of the packet itself (rare).
+    CONSUME = "consume"
+
+    @classmethod
+    def forward(cls) -> "Decision":
+        """Forward by the packet's (possibly rewritten) destination IP."""
+        return cls(kind=cls.FORWARD_IP)
+
+    @classmethod
+    def forward_to(cls, node: str) -> "Decision":
+        return cls(kind=cls.FORWARD_NODE, dst_node=node)
+
+    @classmethod
+    def drop(cls) -> "Decision":
+        return cls(kind=cls.DROP)
+
+    @classmethod
+    def consume(cls) -> "Decision":
+        return cls(kind=cls.CONSUME)
+
+
+class PacketContext:
+    """Everything an NF handler may touch while processing one packet."""
+
+    __slots__ = ("manager", "packet", "from_node", "write_set", "now", "on_release")
+
+    def __init__(self, manager: "SwiShmemManager", packet: Packet, from_node: str) -> None:
+        self.manager = manager
+        self.packet = packet
+        self.from_node = from_node
+        self.now = manager.sim.now
+        #: Strong (SRO/ERO) writes collected during this pass: Q.
+        self.write_set: List[Tuple[RegisterSpec, Any, Any]] = []
+        #: Optional hook ``(output_packet, results) -> None`` invoked
+        #: when the buffered output is released; ``results`` maps each
+        #: written key to its committed value (fetch-add results).
+        self.on_release: Optional[Any] = None
+
+    @property
+    def switch_name(self) -> str:
+        return self.manager.switch.name
+
+    @property
+    def at_tail(self) -> bool:
+        """Whether this packet arrived via tail read-forwarding."""
+        return bool(self.packet.meta.get("at_tail_groups"))
+
+
+class SwiShmemManager:
+    """Per-switch SwiShmem runtime."""
+
+    def __init__(self, switch: PisaSwitch, deployment: "SwiShmemDeployment") -> None:
+        self.switch = switch
+        self.deployment = deployment
+        self.sim: Simulator = deployment.sim
+        self.rng: SeededRng = deployment.rng
+        node_id = deployment.node_id(switch.name)
+        self.clock = HybridClock(
+            node_id=node_id,
+            read_true_time=lambda: self.sim.now,
+            offset=deployment.clock_offset(switch.name),
+        )
+        self.sro = SroEngine(self)
+        self.ewo = EwoEngine(self, sync_period=deployment.sync_period)
+        self._handles: Dict[int, RegisterHandle] = {}
+        self._sync_generators: Dict[int, PacketGenerator] = {}
+        self._ctx: Optional[PacketContext] = None
+        self.nfs: List[Any] = []
+        switch.install_handler(self._protocol_handler, front=True)
+
+    # ------------------------------------------------------------------
+    # Replication traffic dispatch
+    # ------------------------------------------------------------------
+    def _protocol_handler(self, packet: Packet, from_node: str) -> bool:
+        header = packet.swishmem
+        if header is None:
+            return False
+        if header.dst_node is not None and header.dst_node != self.switch.name:
+            # In transit: this replication packet is addressed to another
+            # switch; forward it along without touching the protocol state.
+            self.switch.forward_to_node(packet, header.dst_node)
+            return True
+        op = header.op
+        payload = packet.swishmem_payload
+        if op is SwiShmemOp.WRITE_REQUEST:
+            self.sro._receive_write_request(payload)
+            return True
+        if op is SwiShmemOp.CHAIN_UPDATE:
+            self.sro.handle_chain_update(payload)
+            return True
+        if op is SwiShmemOp.WRITE_ACK:
+            self.sro.handle_write_ack(payload)
+            return True
+        if op is SwiShmemOp.READ_FORWARD:
+            return self.sro.handle_read_forward(packet, header.register_group)
+        if op in (SwiShmemOp.EWO_UPDATE, SwiShmemOp.EWO_SYNC):
+            self.ewo.handle_update(payload)
+            return True
+        if op is SwiShmemOp.SNAPSHOT_WRITE:
+            self.deployment.failover.handle_snapshot_write(self, payload)
+            return True
+        if op is SwiShmemOp.SNAPSHOT_ACK:
+            self.deployment.failover.handle_snapshot_ack(self, payload)
+            return True
+        return True  # unknown replication op: drop rather than misroute
+
+    # ------------------------------------------------------------------
+    # Register group plumbing (called by the deployment)
+    # ------------------------------------------------------------------
+    def add_group(self, spec: RegisterSpec, chain: Optional[ChainDescriptor], members: List[str]) -> None:
+        if spec.consistency is Consistency.EWO:
+            self.ewo.add_group(spec, members, self.clock)
+            generator = PacketGenerator(
+                self.switch,
+                period=self.deployment.sync_period,
+                body=lambda gid=spec.group_id: self.ewo.sync_tick(gid),
+                name=f"ewo-sync:{spec.name}",
+                phase=self.deployment.sync_phase(self.switch.name, spec.group_id),
+            )
+            generator.start()
+            self._sync_generators[spec.group_id] = generator
+        else:
+            assert chain is not None
+            self.sro.add_group(spec, chain)
+        self._handles[spec.group_id] = RegisterHandle(spec, self)
+
+    def handle(self, spec: RegisterSpec) -> RegisterHandle:
+        return self._handles[spec.group_id]
+
+    def restart_ewo_sync(self, group_id: int) -> None:
+        """Restart the periodic sync generator after a recovery.
+
+        The old generator self-stopped when the switch failed; a fresh
+        one is created with a newly staggered phase.
+        """
+        old = self._sync_generators.pop(group_id, None)
+        if old is not None:
+            old.stop()
+        spec = self.deployment.specs[group_id]
+        generator = PacketGenerator(
+            self.switch,
+            period=self.deployment.sync_period,
+            body=lambda gid=group_id: self.ewo.sync_tick(gid),
+            name=f"ewo-sync:{spec.name}",
+            phase=self.deployment.sync_phase(self.switch.name, group_id),
+        )
+        generator.start()
+        self._sync_generators[group_id] = generator
+
+    # ------------------------------------------------------------------
+    # NF installation
+    # ------------------------------------------------------------------
+    def install_nf(self, nf: Any) -> None:
+        """Install an NF whose ``process(ctx) -> Decision`` handles packets.
+
+        Multiple NFs on one switch *compose*: they run in installation
+        order within a single pipeline pass (stages of one program), all
+        sharing the packet's context — and therefore one write set Q and
+        one buffered-output barrier.  A DROP, CONSUME, or explicit
+        redirect from any NF ends the chain.
+        """
+        self.nfs.append(nf)
+        if len(self.nfs) == 1:
+            self.switch.install_handler(self._nf_chain_handler)
+
+    def _nf_chain_handler(self, packet: Packet, from_node: str) -> bool:
+        if packet.swishmem is not None:
+            return False
+        if not self.nfs:
+            return False
+        ctx = PacketContext(self, packet, from_node)
+        self._ctx = ctx
+        decision = Decision.forward()
+        try:
+            for nf in self.nfs:
+                result = nf.process(ctx)
+                if result is not None:
+                    decision = result
+                if decision.kind in (Decision.DROP, Decision.CONSUME, Decision.FORWARD_NODE):
+                    break
+        except ReadForwarded:
+            # The packet is already on its way to the tail.
+            return True
+        finally:
+            self._ctx = None
+        return self._finalize(ctx, decision)
+
+    def _finalize(self, ctx: PacketContext, decision: Decision) -> bool:
+        """Apply the write set and dispose of the output packet.
+
+        With strong writes pending, the output is buffered by the
+        control plane and released on commit (paper 6.1); otherwise the
+        packet leaves immediately.
+        """
+        if ctx.write_set:
+            output_packet, output_dst = self._resolve_output(ctx, decision)
+            self.sro.initiate_writes(
+                ctx.write_set, output_packet, output_dst, on_release=ctx.on_release
+            )
+            return True
+        if decision.kind == Decision.DROP:
+            self.switch.drop(ctx.packet, reason="nf-drop")
+        elif decision.kind == Decision.FORWARD_NODE:
+            self.switch.forward_to_node(ctx.packet, decision.dst_node)
+        elif decision.kind == Decision.CONSUME:
+            pass
+        else:
+            self.switch.forward_by_ip(ctx.packet)
+        return True
+
+    def _resolve_output(
+        self, ctx: PacketContext, decision: Decision
+    ) -> Tuple[Optional[Packet], Optional[str]]:
+        if decision.kind == Decision.DROP or decision.kind == Decision.CONSUME:
+            return None, None
+        if decision.kind == Decision.FORWARD_NODE:
+            return ctx.packet, decision.dst_node
+        if ctx.packet.ipv4 is None:
+            return None, None
+        dst_node = self.deployment.address_book.lookup(ctx.packet.ipv4.dst)
+        if dst_node is None:
+            return None, None
+        return ctx.packet, dst_node
+
+    # ------------------------------------------------------------------
+    # Register access mediation (called by RegisterHandle)
+    # ------------------------------------------------------------------
+    def register_read(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
+        packet = self._ctx.packet if self._ctx is not None else None
+        if spec.consistency is Consistency.EWO:
+            value = self.ewo.read(spec, key, default)
+        else:
+            value = self.sro.read(spec, key, default, packet)
+        history = self.deployment.history
+        if history is not None:
+            history.record_instant(
+                "read", spec.group_id, key, value, self.switch.name, self.sim.now
+            )
+        return value
+
+    def register_write(self, spec: RegisterSpec, key: Any, value: Any) -> None:
+        if spec.consistency is Consistency.EWO:
+            self.ewo.write(spec, key, value)
+            history = self.deployment.history
+            if history is not None:
+                history.record_instant(
+                    "write", spec.group_id, key, value, self.switch.name, self.sim.now
+                )
+            return
+        if self._ctx is None:
+            # Control-plane-originated write (no packet, nothing to buffer).
+            self.sro.initiate_writes([(spec, key, value)], None, None)
+            return
+        self._ctx.write_set.append((spec, key, value))
+
+    def register_fetch_add(self, spec: RegisterSpec, key: Any, amount: int = 1) -> None:
+        """Linearizable fetch-add on SRO/ERO state (section 9 sequencer).
+
+        The head assigns ``current + amount`` at sequencing time; the
+        committed value is delivered to the packet's ``on_release``
+        hook.  EWO counters don't need this — their increments are
+        already commutative — so it is rejected there.
+        """
+        from repro.core.registers import FetchAdd
+
+        if spec.consistency is Consistency.EWO:
+            raise TypeError(
+                f"fetch_add targets strong registers; use increment() on the "
+                f"EWO group {spec.name!r}"
+            )
+        if self._ctx is None:
+            self.sro.initiate_writes([(spec, key, FetchAdd(amount))], None, None)
+            return
+        self._ctx.write_set.append((spec, key, FetchAdd(amount)))
+
+    def register_increment(self, spec: RegisterSpec, key: Any, amount: int) -> int:
+        if spec.consistency is not Consistency.EWO:
+            raise TypeError(
+                f"increment() requires an EWO counter group; {spec.name!r} is "
+                f"{spec.consistency.value} (strong registers have overwrite semantics)"
+            )
+        value = self.ewo.increment(spec, key, amount)
+        history = self.deployment.history
+        if history is not None:
+            history.record_instant(
+                "write", spec.group_id, key, value, self.switch.name, self.sim.now
+            )
+        return value
+
+    def register_set_add(self, spec: RegisterSpec, key: Any, element: Any) -> None:
+        self.ewo.set_add(spec, key, element)
+        history = self.deployment.history
+        if history is not None:
+            history.record_instant(
+                "write", spec.group_id, key, ("add", element), self.switch.name, self.sim.now
+            )
+
+    def register_set_remove(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        removed = self.ewo.set_remove(spec, key, element)
+        history = self.deployment.history
+        if history is not None and removed:
+            history.record_instant(
+                "write", spec.group_id, key, ("rm", element), self.switch.name, self.sim.now
+            )
+        return removed
+
+    def register_set_contains(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        return self.ewo.set_contains(spec, key, element)
+
+    def register_peek(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
+        if spec.consistency is Consistency.EWO:
+            return self.ewo.read(spec, key, default)
+        state = self.sro.groups[spec.group_id]
+        return state.store.get(key, default if default is not None else spec.default)
+
+    # ------------------------------------------------------------------
+    # Engine callbacks
+    # ------------------------------------------------------------------
+    def on_write_initiated(self, spec: RegisterSpec, key: Any, value: Any, token: WriteToken) -> None:
+        history = self.deployment.history
+        if history is not None:
+            history.begin(
+                token, "write", spec.group_id, key, value, self.switch.name, self.sim.now
+            )
+
+    def on_write_committed(self, spec: RegisterSpec, key: Any, ack: Any) -> None:
+        history = self.deployment.history
+        if history is not None:
+            history.complete(ack.token, self.sim.now)
+
+
+class SwiShmemDeployment:
+    """A set of switches acting as one logical NF processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        switches: List[PisaSwitch],
+        address_book: Optional[AddressBook] = None,
+        sync_period: float = DEFAULT_SYNC_PERIOD,
+        clock_skew: float = DEFAULT_CLOCK_SKEW,
+        tracer: Tracer = NULL_TRACER,
+        record_history: bool = False,
+    ) -> None:
+        if not switches:
+            raise ValueError("a deployment needs at least one switch")
+        self.sim = sim
+        self.topo = topo
+        self.rng = topo.rng
+        self.switches = list(switches)
+        self.switch_names = [s.name for s in switches]
+        self.sync_period = sync_period
+        self.clock_skew = clock_skew
+        self.tracer = tracer
+        self.address_book = address_book if address_book is not None else AddressBook()
+        self.routing = RoutingTable(topo)
+        self.multicast = MulticastRegistry()
+        self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
+        #: Section 9 extension: directory service for partial replication
+        #: (None = full replication everywhere, the paper's base design).
+        self.directory = None
+        self._group_ids = itertools.count(1)
+        self.specs: Dict[int, RegisterSpec] = {}
+        self._spec_names: Dict[str, RegisterSpec] = {}
+        self.chains: Dict[int, ChainDescriptor] = {}
+        self._clock_offsets: Dict[str, float] = {}
+        skew_stream = self.rng.stream("clock-skew")
+        for switch in self.switches:
+            self._clock_offsets[switch.name] = skew_stream.uniform(-clock_skew, clock_skew)
+        # Wire the shared fabric services into each switch.
+        for switch in self.switches:
+            switch.routing = self.routing
+            switch.address_book = self.address_book
+            switch.multicast = self.multicast
+        # Late imports to avoid a protocols <-> core cycle at module load.
+        from repro.protocols.controller import CentralController
+        from repro.protocols.failover import FailoverCoordinator
+
+        self.managers: Dict[str, SwiShmemManager] = {
+            switch.name: SwiShmemManager(switch, self) for switch in self.switches
+        }
+        self.failover = FailoverCoordinator(self)
+        self.controller = CentralController(self)
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    def node_id(self, switch_name: str) -> int:
+        return self.switch_names.index(switch_name)
+
+    def clock_offset(self, switch_name: str) -> float:
+        return self._clock_offsets.get(switch_name, 0.0)
+
+    def sync_phase(self, switch_name: str, group_id: int) -> float:
+        """Stagger each switch's first sync within one period."""
+        stream = self.rng.stream(f"sync-phase:{switch_name}:{group_id}")
+        return stream.uniform(0.1, 1.0) * self.sync_period
+
+    def manager(self, switch_name: str) -> SwiShmemManager:
+        return self.managers[switch_name]
+
+    # ------------------------------------------------------------------
+    # Register group declaration
+    # ------------------------------------------------------------------
+    def declare(self, spec: RegisterSpec) -> RegisterSpec:
+        """Declare a register group and replicate it on every switch."""
+        if spec.name in self._spec_names:
+            raise ValueError(f"register group {spec.name!r} already declared")
+        spec.group_id = next(self._group_ids)
+        self.specs[spec.group_id] = spec
+        self._spec_names[spec.name] = spec
+        chain: Optional[ChainDescriptor] = None
+        if spec.consistency is Consistency.EWO:
+            self.multicast.create(spec.group_id, members=self.switch_names)
+        else:
+            chain = ChainDescriptor(
+                chain_id=spec.group_id, members=tuple(self.switch_names)
+            )
+            self.chains[spec.group_id] = chain
+        for manager in self.managers.values():
+            manager.add_group(spec, chain, list(self.switch_names))
+        return spec
+
+    def spec_by_name(self, name: str) -> RegisterSpec:
+        return self._spec_names[name]
+
+    def attach_directory(self, directory) -> None:
+        """Enable the section 9 directory service for groups declared
+        with ``partial_replication=True``.  The directory's switch set
+        must match this deployment's."""
+        unknown = set(directory.all_switches) - set(self.switch_names)
+        if unknown:
+            raise ValueError(f"directory names unknown switches: {sorted(unknown)}")
+        self.directory = directory
+
+    def handle(self, switch_name: str, spec: RegisterSpec) -> RegisterHandle:
+        return self.managers[switch_name].handle(spec)
+
+    # ------------------------------------------------------------------
+    # Chain reconfiguration (driven by the controller / failover)
+    # ------------------------------------------------------------------
+    def install_chain(self, chain: ChainDescriptor) -> None:
+        """Push a new chain descriptor version to all live managers."""
+        self.chains[chain.chain_id] = chain
+        for manager in self.managers.values():
+            if manager.switch.failed:
+                continue
+            if chain.chain_id in manager.sro.groups:
+                manager.sro.set_chain(chain.chain_id, chain)
+
+    # ------------------------------------------------------------------
+    # NF installation
+    # ------------------------------------------------------------------
+    def install_nf(self, nf_class: Type, **kwargs: Any) -> List[Any]:
+        """Declare the NF's register groups and instantiate it on every switch.
+
+        ``nf_class.build_specs(**kwargs)`` returns the NF's
+        :class:`RegisterSpec` list; the class is then constructed per
+        switch as ``nf_class(manager, handles, **kwargs)`` where
+        ``handles`` maps spec name -> :class:`RegisterHandle`.
+        """
+        specs = nf_class.build_specs(**kwargs)
+        for spec in specs:
+            self.declare(spec)
+        instances = []
+        for switch in self.switches:
+            manager = self.managers[switch.name]
+            handles = {spec.name: manager.handle(spec) for spec in specs}
+            nf = nf_class(manager, handles, **kwargs)
+            manager.install_nf(nf)
+            instances.append(nf)
+        return instances
+
+    # ------------------------------------------------------------------
+    # Experiment conveniences
+    # ------------------------------------------------------------------
+    def fail_switch(self, name: str) -> None:
+        """Fail-stop a switch (the controller will detect it)."""
+        self.topo.fail_node(name)
+
+    def ewo_states(self, spec: RegisterSpec) -> List[Dict[Any, Any]]:
+        """Every live replica's readable EWO state (convergence checks)."""
+        return [
+            manager.ewo.local_state(spec.group_id)
+            for manager in self.managers.values()
+            if not manager.switch.failed and spec.group_id in manager.ewo.groups
+        ]
+
+    def sro_stores(self, spec: RegisterSpec) -> List[Dict[Any, Any]]:
+        return [
+            dict(manager.sro.groups[spec.group_id].store)
+            for manager in self.managers.values()
+            if not manager.switch.failed and spec.group_id in manager.sro.groups
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """A deployment-wide operational snapshot.
+
+        Aggregates the forwarding-plane, control-plane, and per-group
+        protocol counters across every switch — what an operator
+        dashboard for this deployment would show, and what examples and
+        experiments print when asked "what did the system actually do?".
+        """
+        switches = {}
+        for name, manager in self.managers.items():
+            switch = manager.switch
+            switches[name] = {
+                "failed": switch.failed,
+                "forwarding": switch.stats.as_dict(),
+                "cpu_ops": switch.control.ops_executed,
+                "cpu_time": switch.control.cpu_time_used,
+                "buffered_packets": switch.control.buffered_count,
+                "memory_used_bytes": switch.memory.used_bytes,
+                "memory_utilization": switch.memory.utilization(),
+            }
+        groups = {}
+        for group_id, spec in sorted(self.specs.items()):
+            per_switch = {}
+            for name, manager in self.managers.items():
+                if spec.consistency is Consistency.EWO:
+                    if group_id in manager.ewo.groups:
+                        per_switch[name] = manager.ewo.stats_for(group_id).as_dict()
+                elif group_id in manager.sro.groups:
+                    per_switch[name] = manager.sro.stats_for(group_id).as_dict()
+            totals: Dict[str, float] = {}
+            for stats in per_switch.values():
+                for key, value in stats.items():
+                    totals[key] = totals.get(key, 0) + value
+            groups[spec.name] = {
+                "consistency": spec.consistency.value,
+                "totals": totals,
+                "per_switch": per_switch,
+            }
+        return {
+            "switches": switches,
+            "groups": groups,
+            "failures": len(self.controller.failures),
+            "recoveries": len(self.controller.recoveries),
+            "replication_bytes_on_wire": self.topo.total_bytes_sent(),
+        }

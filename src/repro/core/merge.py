@@ -1,0 +1,77 @@
+"""Merge policies for eventually consistent state (paper section 6.2).
+
+The EWO engine implements the paper's two built-in policies natively
+(last-writer-wins and CRDT counter vectors).  This module exposes the
+same merge logic as standalone functions — used by tests, by the
+directory-service migration path, and by anyone composing custom
+mergeable register values — plus a :func:`merge_value` dispatcher for
+values that implement their own merge (sketches, Bloom filters, CRDTs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple
+
+from repro.crdt.clock import Timestamp
+
+__all__ = [
+    "merge_last_writer_wins",
+    "merge_counter_vectors",
+    "merge_value",
+    "is_mergeable",
+]
+
+#: Method names recognized by :func:`merge_value`, tried in order.
+_MERGE_METHODS = ("merge_max", "merge_or", "merge")
+
+
+def merge_last_writer_wins(
+    local: Tuple[Any, Timestamp], remote: Tuple[Any, Timestamp]
+) -> Tuple[Any, Timestamp]:
+    """LWW merge of two (value, version) pairs; higher version wins.
+
+    Versions are totally ordered (switch id breaks ties), so the result
+    is deterministic and commutative.
+    """
+    local_value, local_version = local
+    remote_value, remote_version = remote
+    if remote_version > local_version:
+        return remote_value, remote_version
+    return local_value, local_version
+
+
+def merge_counter_vectors(local: List[int], remote: Iterable[int]) -> List[int]:
+    """Element-wise max merge of counter slot vectors (G-Counter merge)."""
+    merged = list(local)
+    for index, value in enumerate(remote):
+        if index >= len(merged):
+            raise ValueError("remote vector longer than local replica group")
+        if value > merged[index]:
+            merged[index] = value
+    return merged
+
+
+def is_mergeable(value: Any) -> bool:
+    """Does the value implement one of the recognized merge methods?"""
+    return any(callable(getattr(value, name, None)) for name in _MERGE_METHODS)
+
+
+def merge_value(local: Any, remote: Any) -> Any:
+    """Merge two register values by their own merge method.
+
+    Supports the mergeable types in this library: count-min sketches
+    (``merge_max``), Bloom filters (``merge_or``), and CRDTs
+    (``merge``).  The local value is mutated and returned.
+    """
+    for name in _MERGE_METHODS:
+        method = getattr(local, name, None)
+        if callable(method):
+            argument = remote
+            # CRDT merge() methods take the remote *state*, not the object.
+            if name == "merge" and hasattr(remote, "state"):
+                argument = remote.state()
+            elif name == "merge" and hasattr(remote, "vector"):
+                argument = remote.vector()
+            method(argument)
+            return local
+    raise TypeError(f"{type(local).__name__} has no recognized merge method")

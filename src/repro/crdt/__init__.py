@@ -1,0 +1,18 @@
+"""Conflict-free replicated data types and the clocks that order them."""
+
+from repro.crdt.clock import HybridClock, LamportClock, SynchronizedClock, Timestamp
+from repro.crdt.gcounter import GCounter
+from repro.crdt.lww import LwwRegister
+from repro.crdt.orset import ORSet
+from repro.crdt.pncounter import PNCounter
+
+__all__ = [
+    "HybridClock",
+    "LamportClock",
+    "SynchronizedClock",
+    "Timestamp",
+    "GCounter",
+    "LwwRegister",
+    "ORSet",
+    "PNCounter",
+]

@@ -1,0 +1,69 @@
+"""Last-writer-wins register.
+
+Paper section 6.2: "In LWW, each register is associated with a version
+number.  The merge function accepts an update from another switch only
+for the version numbers larger than the local one."
+
+The version is a :class:`~repro.crdt.clock.Timestamp`, totally ordered
+by (time, logical, switch-id) — the switch id being the paper's tie
+breaker.  LWW provides eventual consistency but, as the paper notes,
+"until it converges there may be inconsistent behavior"; the EWO
+experiments measure exactly that window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.crdt.clock import Timestamp
+
+__all__ = ["LwwRegister"]
+
+_ZERO = Timestamp(float("-inf"), 0, -1)
+
+
+class LwwRegister:
+    """A single last-writer-wins cell: (value, version)."""
+
+    __slots__ = ("_value", "_version")
+
+    def __init__(self, initial: Any = None) -> None:
+        self._value = initial
+        self._version: Timestamp = _ZERO
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def version(self) -> Timestamp:
+        return self._version
+
+    def write(self, value: Any, version: Timestamp) -> None:
+        """Local write: the caller supplies a fresh clock stamp."""
+        if not version > self._version:
+            raise ValueError(
+                f"local write version {version} does not advance past {self._version}; "
+                "the clock must be strictly monotone"
+            )
+        self._value = value
+        self._version = version
+
+    def merge(self, value: Any, version: Timestamp) -> bool:
+        """Remote merge: accept only strictly newer versions.
+
+        Returns True when the remote write won.  Equal versions are
+        impossible across distinct switches (node id is part of the
+        order) and idempotent re-delivery of our own write is a no-op.
+        """
+        if version > self._version:
+            self._value = value
+            self._version = version
+            return True
+        return False
+
+    def state(self) -> Tuple[Any, Timestamp]:
+        return (self._value, self._version)
+
+    def __repr__(self) -> str:
+        return f"<LwwRegister {self._value!r} @ {self._version}>"

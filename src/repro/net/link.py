@@ -1,0 +1,224 @@
+"""Nodes and links.
+
+The paper's system model (section 5): switches communicate over a
+network where "packets can be dropped, and links and switches may fail".
+This module provides exactly that substrate:
+
+* :class:`Node` — anything that can receive packets (switches, end
+  hosts, the central controller).
+* :class:`Link` — a bidirectional connection made of two independent
+  unidirectional :class:`Channel` objects, each with propagation latency,
+  finite bandwidth (store-and-forward FIFO serialization), an i.i.d. loss
+  probability, and an administrative up/down state for fault injection.
+
+There is deliberately **no reliability**: delivery is at-most-once and
+unordered across channels, mirroring the paper's observation that
+switches cannot run TCP in the data plane.  Any retransmission logic
+lives in the protocols (SRO's control-plane retries) or nowhere at all
+(EWO's periodic sync), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+__all__ = ["Node", "Channel", "Link", "LinkStats"]
+
+
+class Node:
+    """Base class for every packet-handling entity in the network."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Links attached to this node, keyed by the neighbor's name.
+        self.links: Dict[str, "Link"] = {}
+        #: Fail-stop flag: a failed node silently drops everything.
+        self.failed = False
+
+    def attach_link(self, link: "Link", neighbor: str) -> None:
+        self.links[neighbor] = link
+
+    def neighbors(self) -> List[str]:
+        return sorted(self.links)
+
+    def handle_packet(self, packet: "Packet", from_node: str) -> None:
+        """Process a packet arriving from ``from_node``.  Subclasses override."""
+        raise NotImplementedError
+
+    def deliver(self, packet: "Packet", from_node: str) -> None:
+        """Entry point used by channels; respects fail-stop semantics."""
+        if self.failed:
+            return
+        self.handle_packet(packet, from_node)
+
+    def send(self, packet: "Packet", to_neighbor: str) -> bool:
+        """Transmit ``packet`` to a directly connected neighbor.
+
+        Returns False if this node has failed or has no such link; the
+        packet is then dropped, matching fail-stop semantics.
+        """
+        if self.failed:
+            return False
+        link = self.links.get(to_neighbor)
+        if link is None:
+            raise KeyError(f"{self.name} has no link to {to_neighbor}")
+        link.transmit(packet, from_node=self.name)
+        return True
+
+    def fail(self) -> None:
+        """Fail-stop this node (paper section 6.3)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class LinkStats:
+    """Per-channel counters used by bandwidth-overhead experiments."""
+
+    __slots__ = ("packets_sent", "bytes_sent", "packets_dropped", "packets_delivered")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "packets_dropped": self.packets_dropped,
+            "packets_delivered": self.packets_delivered,
+        }
+
+
+class Channel:
+    """One direction of a link: src -> dst."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Node,
+        dst: Node,
+        latency: float,
+        bandwidth_bps: float,
+        loss_rate: float,
+        rng: SeededRng,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        self.up = True
+        self.stats = LinkStats()
+        self._loss_stream = rng.stream(f"loss:{src.name}->{dst.name}")
+        self._tracer = tracer
+        #: Time the transmitter is busy until (FIFO serialization).
+        self._busy_until = 0.0
+
+    def transmit(self, packet: "Packet") -> None:
+        """Queue ``packet`` for delivery to ``dst``.
+
+        Serialization delay is ``wire_size * 8 / bandwidth`` and packets
+        share the transmitter FIFO; propagation adds ``latency``.  Loss is
+        decided at transmit time (the packet occupies the wire either way,
+        as a corrupted frame would).
+        """
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_size
+        if not self.up:
+            self.stats.packets_dropped += 1
+            return
+        start = max(self.sim.now, self._busy_until)
+        serialization = packet.wire_size * 8 / self.bandwidth_bps
+        self._busy_until = start + serialization
+        arrival = self._busy_until + self.latency
+        if self.loss_rate > 0.0 and self._loss_stream.random() < self.loss_rate:
+            self.stats.packets_dropped += 1
+            self._tracer.emit(
+                self.sim.now, "link", self.src.name, "drop", to=self.dst.name, pkt=packet.uid
+            )
+            return
+        self.sim.schedule_at(arrival, self._deliver, packet, label=f"link:{self.src.name}->{self.dst.name}")
+
+    def _deliver(self, packet: "Packet") -> None:
+        if not self.up:
+            self.stats.packets_dropped += 1
+            return
+        self.stats.packets_delivered += 1
+        self.dst.deliver(packet, from_node=self.src.name)
+
+
+class Link:
+    """A bidirectional link: two channels with shared parameters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Node,
+        b: Node,
+        latency: float = 5e-6,
+        bandwidth_bps: float = 100e9,
+        loss_rate: float = 0.0,
+        rng: Optional[SeededRng] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        rng = rng if rng is not None else SeededRng(0)
+        self.a = a
+        self.b = b
+        self.ab = Channel(sim, a, b, latency, bandwidth_bps, loss_rate, rng, tracer)
+        self.ba = Channel(sim, b, a, latency, bandwidth_bps, loss_rate, rng, tracer)
+        a.attach_link(self, b.name)
+        b.attach_link(self, a.name)
+
+    @property
+    def up(self) -> bool:
+        return self.ab.up and self.ba.up
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/lower both directions (fault injection)."""
+        self.ab.up = up
+        self.ba.up = up
+
+    def transmit(self, packet: "Packet", from_node: str) -> None:
+        if from_node == self.a.name:
+            self.ab.transmit(packet)
+        elif from_node == self.b.name:
+            self.ba.transmit(packet)
+        else:
+            raise ValueError(f"{from_node} is not an endpoint of link {self.a.name}<->{self.b.name}")
+
+    def channel_from(self, node_name: str) -> Channel:
+        """The unidirectional channel whose transmitter is ``node_name``."""
+        if node_name == self.a.name:
+            return self.ab
+        if node_name == self.b.name:
+            return self.ba
+        raise ValueError(f"{node_name} is not an endpoint of this link")
+
+    def other_end(self, node_name: str) -> Node:
+        if node_name == self.a.name:
+            return self.b
+        if node_name == self.b.name:
+            return self.a
+        raise ValueError(f"{node_name} is not an endpoint of this link")

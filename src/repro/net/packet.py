@@ -1,0 +1,139 @@
+"""The packet model.
+
+A :class:`Packet` is a parsed header stack plus a payload size and a
+mutable metadata dict.  The metadata dict plays the role of PISA
+per-packet metadata: the parser and pipeline stages communicate through
+it, and it is discarded when the packet leaves the switch.
+
+Packets are copied (never aliased) when they fan out — multicast,
+mirroring, recirculation — because each copy is independently mutable
+down its own path, exactly as hardware would re-serialize and re-parse.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.net.headers import (
+    EthernetHeader,
+    FiveTuple,
+    IPv4Header,
+    PROTO_TCP,
+    PROTO_UDP,
+    SwiShmemHeader,
+    TcpFlags,
+    TcpHeader,
+    UdpHeader,
+)
+
+__all__ = ["Packet", "make_tcp_packet", "make_udp_packet"]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A packet in flight.
+
+    Only the headers that are present are non-None; the deparser
+    recomputes ``wire_size`` from whatever stack the pipeline left
+    behind.
+    """
+
+    eth: Optional[EthernetHeader] = None
+    ipv4: Optional[IPv4Header] = None
+    tcp: Optional[TcpHeader] = None
+    udp: Optional[UdpHeader] = None
+    swishmem: Optional[SwiShmemHeader] = None
+    #: Protocol message object for SwiShmem packets (not bytes; sized via
+    #: its own ``wire_size`` attribute).
+    swishmem_payload: Any = None
+    payload_size: int = 0
+    #: Stand-in for payload content: a workload-chosen digest that NFs
+    #: (e.g. the IPS) hash as if they had read the payload bytes.
+    payload_digest: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Per-packet metadata, reset at each switch (PISA metadata).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Time the packet was first created (set by the injector).
+    created_at: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-wire bytes, used for serialization-delay accounting."""
+        size = self.payload_size
+        for header in (self.eth, self.ipv4, self.tcp, self.udp, self.swishmem):
+            if header is not None:
+                size += header.wire_size
+        if self.swishmem_payload is not None:
+            size += getattr(self.swishmem_payload, "wire_size", 0)
+        return size
+
+    def five_tuple(self) -> Optional[FiveTuple]:
+        """Extract the connection five-tuple, or None for non-L4 packets."""
+        if self.ipv4 is None:
+            return None
+        if self.tcp is not None:
+            return FiveTuple(
+                self.ipv4.src, self.ipv4.dst, self.tcp.src_port, self.tcp.dst_port, PROTO_TCP
+            )
+        if self.udp is not None:
+            return FiveTuple(
+                self.ipv4.src, self.ipv4.dst, self.udp.src_port, self.udp.dst_port, PROTO_UDP
+            )
+        return None
+
+    def clone(self) -> "Packet":
+        """Deep copy with a fresh uid (multicast/mirror/recirculation copies)."""
+        duplicate = copy.deepcopy(self)
+        duplicate.uid = next(_packet_ids)
+        return duplicate
+
+    def __str__(self) -> str:
+        parts = [f"pkt#{self.uid}"]
+        if self.swishmem is not None:
+            parts.append(f"swishmem:{self.swishmem.op.value}")
+        tup = self.five_tuple()
+        if tup is not None:
+            parts.append(str(tup))
+        elif self.ipv4 is not None:
+            parts.append(f"ip:{self.ipv4.src}->{self.ipv4.dst}")
+        parts.append(f"{self.wire_size}B")
+        return " ".join(parts)
+
+
+def make_tcp_packet(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    flags: TcpFlags = TcpFlags.NONE,
+    payload_size: int = 0,
+    seq: int = 0,
+) -> Packet:
+    """Build a TCP packet with a full Ethernet/IPv4/TCP stack."""
+    return Packet(
+        eth=EthernetHeader(),
+        ipv4=IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_TCP),
+        tcp=TcpHeader(src_port=src_port, dst_port=dst_port, flags=flags, seq=seq),
+        payload_size=payload_size,
+    )
+
+
+def make_udp_packet(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    payload_size: int = 0,
+) -> Packet:
+    """Build a UDP packet with a full Ethernet/IPv4/UDP stack."""
+    return Packet(
+        eth=EthernetHeader(),
+        ipv4=IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_UDP),
+        udp=UdpHeader(src_port=src_port, dst_port=dst_port),
+        payload_size=payload_size,
+    )

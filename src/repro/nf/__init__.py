@@ -1,0 +1,33 @@
+"""The six Table 1 network functions, written against SwiShmem registers."""
+
+from repro.nf.base import NetworkFunction, NfStats
+from repro.nf.ddos import DdosDetectorNF
+from repro.nf.firewall import ConnState, FirewallNF
+from repro.nf.heavyhitter import (
+    ControllerHeavyHitterNF,
+    HeavyHitterCoordinator,
+    HeavyHitterNF,
+)
+from repro.nf.ips import IpsNF, packet_signature
+from repro.nf.loadbalancer import LoadBalancerNF
+from repro.nf.nat import NatNF
+from repro.nf.ratelimiter import RateLimiterNF, user_of_packet
+from repro.nf.sequencer import SequencerNF
+
+__all__ = [
+    "NetworkFunction",
+    "NfStats",
+    "DdosDetectorNF",
+    "ConnState",
+    "FirewallNF",
+    "ControllerHeavyHitterNF",
+    "HeavyHitterCoordinator",
+    "HeavyHitterNF",
+    "IpsNF",
+    "packet_signature",
+    "LoadBalancerNF",
+    "NatNF",
+    "RateLimiterNF",
+    "user_of_packet",
+    "SequencerNF",
+]

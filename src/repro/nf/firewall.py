@@ -1,0 +1,120 @@
+"""Stateful firewall (Table 1, row 2).
+
+"Stateful firewalls monitor connection states to enforce context-based
+rules.  These states are stored in a shared table, updated as
+connections are opened and closed, and accessed for each packet to make
+filtering decisions.  Like the NAT, the firewall NF requires strong
+consistency to avoid incorrect forwarding behavior." (paper section 4.1)
+
+Policy: connections may only be *initiated* from the internal side.
+
+Shared state:
+  * ``fw_conntrack`` — **SRO**, ``control_plane_state=True``: five-tuple
+    (canonicalized to the initiator's direction) -> connection state,
+    one of ``SYN_SENT`` / ``ESTABLISHED`` / ``CLOSED``.
+
+State machine (per connection, driven by TCP flags):
+  outbound SYN        -> SYN_SENT   (write; output buffered until commit)
+  inbound  SYN|ACK    -> ESTABLISHED (write) when SYN_SENT
+  either   FIN or RST -> CLOSED      (write)
+  inbound packet with no entry, or entry CLOSED -> drop
+
+Every packet reads the table; only connection-opening and -closing
+packets write — exactly Table 1's "write on new connection, read on
+every packet" profile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.manager import Decision, PacketContext
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.headers import FiveTuple, TcpFlags
+from repro.nf.base import NetworkFunction
+
+__all__ = ["FirewallNF", "ConnState"]
+
+
+class ConnState:
+    """Connection-tracking states stored in the shared table."""
+
+    SYN_SENT = "syn_sent"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+class FirewallNF(NetworkFunction):
+    """Distributed stateful firewall on SwiShmem SRO registers."""
+
+    NAME = "firewall"
+
+    def __init__(self, manager, handles, *, internal_prefix: str = "10.",
+                 capacity: int = 4096, pending_slots: Optional[int] = None) -> None:
+        super().__init__(manager, handles)
+        self.internal_prefix = internal_prefix
+        self.conntrack = handles["fw_conntrack"]
+
+    @classmethod
+    def build_specs(cls, *, internal_prefix: str = "10.", capacity: int = 4096,
+                    pending_slots: Optional[int] = None) -> List[RegisterSpec]:
+        return [
+            RegisterSpec(
+                name="fw_conntrack",
+                consistency=Consistency.SRO,
+                capacity=capacity,
+                key_bytes=13,
+                value_bytes=1,
+                pending_slots=pending_slots,
+                control_plane_state=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def process(self, ctx: PacketContext) -> Decision:
+        self.stats.processed += 1
+        packet = ctx.packet
+        flow = packet.five_tuple()
+        if flow is None or packet.tcp is None:
+            return self.forward()  # non-TCP traffic is not policed here
+        outbound = flow.src_ip.startswith(self.internal_prefix)
+        key = flow if outbound else flow.reverse()
+        state = self.conntrack.read(key.as_tuple())
+        flags = packet.tcp.flags
+        if outbound:
+            return self._outbound(key, state, flags)
+        return self._inbound(key, state, flags)
+
+    def _outbound(self, key: FiveTuple, state: Optional[str], flags: TcpFlags) -> Decision:
+        if flags & TcpFlags.SYN and not flags & TcpFlags.ACK:
+            if state in (None, ConnState.CLOSED):
+                self.stats.state_misses += 1
+                self.conntrack.write(key.as_tuple(), ConnState.SYN_SENT)
+                return self.forward()
+            # SYN retransmission on a live connection: pass through.
+            self.stats.state_hits += 1
+            return self.forward()
+        if state is None:
+            # Non-SYN without state: stray packet; internal side is
+            # trusted to send (e.g. stale FINs), forward without entry.
+            self.stats.state_misses += 1
+            return self.forward()
+        self.stats.state_hits += 1
+        if flags & (TcpFlags.FIN | TcpFlags.RST) and state != ConnState.CLOSED:
+            self.conntrack.write(key.as_tuple(), ConnState.CLOSED)
+        return self.forward()
+
+    def _inbound(self, key: FiveTuple, state: Optional[str], flags: TcpFlags) -> Decision:
+        if state is None or state == ConnState.CLOSED:
+            # Context says no live connection: block (the strong-
+            # consistency failure mode is exactly a wrong drop here).
+            self.stats.state_misses += 1
+            return self.drop()
+        self.stats.state_hits += 1
+        if state == ConnState.SYN_SENT and flags & TcpFlags.SYN and flags & TcpFlags.ACK:
+            self.conntrack.write(key.as_tuple(), ConnState.ESTABLISHED)
+            return self.forward()
+        if flags & (TcpFlags.FIN | TcpFlags.RST):
+            self.conntrack.write(key.as_tuple(), ConnState.CLOSED)
+            return self.forward()
+        return self.forward()

@@ -1,0 +1,186 @@
+"""Network-wide heavy-hitter detection (paper section 8, related work).
+
+"Harrison et al. propose a distributed heavy-hitters detection
+algorithm that minimizes the communication overheads between the
+switches and the controller.  Switches maintain local counters and use
+them to trigger updates to a centralized controller.  SwiShmem can be
+used to implement similar algorithms while eliminating the need for a
+centralized controller, thus potentially providing faster response."
+
+Two implementations of the same detector, for the N5 comparison:
+
+* :class:`HeavyHitterNF` — the SwiShmem way: per-key **EWO counters**
+  shared by all switches; every switch sees the (eventually consistent)
+  global count on every packet and declares a heavy hitter locally the
+  moment the merged count crosses the threshold.  No controller in the
+  loop.
+
+* :class:`ControllerHeavyHitterNF` — the Harrison-style baseline: each
+  switch keeps *local* counters and reports to a central
+  :class:`HeavyHitterCoordinator` whenever a local count crosses the
+  per-switch trigger ``threshold / num_switches`` (their "mule"
+  threshold).  The coordinator aggregates reports and declares keys
+  heavy.  Reports cost a control-plane op at the switch plus a
+  round-trip of coordinator latency, and every report is counted as
+  communication overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.manager import Decision, PacketContext
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.nf.base import NetworkFunction
+
+__all__ = ["HeavyHitterNF", "ControllerHeavyHitterNF", "HeavyHitterCoordinator"]
+
+
+def flow_key(packet) -> Optional[str]:
+    """Heavy-hitter key: the source IP (per-source volume)."""
+    if packet.ipv4 is None:
+        return None
+    return packet.ipv4.src
+
+
+#: DSCP bit marking a packet already counted by a heavy-hitter stage, so
+#: a packet crossing several HH switches is counted exactly once.
+COUNTED_MARK = 0x10
+
+
+def claim_count(packet) -> bool:
+    """Atomically test-and-set the counted mark; True if we count it."""
+    if packet.ipv4.dscp & COUNTED_MARK:
+        return False
+    packet.ipv4.dscp |= COUNTED_MARK
+    return True
+
+
+class HeavyHitterNF(NetworkFunction):
+    """Controller-free heavy hitters on shared EWO counters."""
+
+    NAME = "heavyhitter"
+
+    def __init__(self, manager, handles, *, threshold: int = 100,
+                 capacity: int = 4096) -> None:
+        super().__init__(manager, handles)
+        self.threshold = threshold
+        self.counts = handles["hh_counts"]
+        #: key -> time this switch first saw the global count cross.
+        self.detected: Dict[str, float] = {}
+
+    @classmethod
+    def build_specs(cls, *, threshold: int = 100, capacity: int = 4096) -> List[RegisterSpec]:
+        return [
+            RegisterSpec(
+                name="hh_counts",
+                consistency=Consistency.EWO,
+                ewo_mode=EwoMode.COUNTER,
+                capacity=capacity,
+                key_bytes=4,
+                value_bytes=4,
+            )
+        ]
+
+    def process(self, ctx: PacketContext) -> Decision:
+        self.stats.processed += 1
+        key = flow_key(ctx.packet)
+        if key is None:
+            return self.forward()
+        if claim_count(ctx.packet):
+            total = self.counts.increment(key)
+        else:
+            total = self.counts.read(key, 0)
+        if total >= self.threshold and key not in self.detected:
+            self.detected[key] = ctx.now
+        return self.forward()
+
+
+@dataclass
+class _Report:
+    """One switch -> coordinator report (Harrison-style)."""
+
+    switch: str
+    key: str
+    count: int
+    sent_at: float
+
+
+class HeavyHitterCoordinator:
+    """The centralized controller of the Harrison-style baseline.
+
+    Aggregates per-switch partial counts; a key whose reported sum
+    crosses the global threshold is declared heavy.  ``rtt`` models the
+    switch-to-controller round trip (the reports travel off the fast
+    path).  Every report is tallied as communication overhead — the
+    quantity Harrison et al. optimize and SwiShmem eliminates.
+    """
+
+    def __init__(self, sim, threshold: int, rtt: float = 500e-6) -> None:
+        self.sim = sim
+        self.threshold = threshold
+        self.rtt = rtt
+        self._partials: Dict[str, Dict[str, int]] = {}
+        self.detected: Dict[str, float] = {}
+        self.reports_received = 0
+        self.report_bytes = 0
+
+    def submit_report(self, report: _Report) -> None:
+        """Called by a switch's control plane; applied after rtt/2."""
+        self.sim.schedule(self.rtt / 2, self._apply, report, label="hh-report")
+
+    def _apply(self, report: _Report) -> None:
+        self.reports_received += 1
+        self.report_bytes += 4 + 4 + 4  # key + count + switch id
+        partials = self._partials.setdefault(report.key, {})
+        partials[report.switch] = report.count
+        total = sum(partials.values())
+        if total >= self.threshold and report.key not in self.detected:
+            self.detected[report.key] = self.sim.now
+
+
+class ControllerHeavyHitterNF(NetworkFunction):
+    """Harrison-style baseline: local counters + controller reports."""
+
+    NAME = "heavyhitter-controller"
+
+    def __init__(self, manager, handles, *, threshold: int = 100,
+                 coordinator: HeavyHitterCoordinator = None,
+                 num_switches: Optional[int] = None,
+                 capacity: int = 4096) -> None:
+        super().__init__(manager, handles)
+        if coordinator is None:
+            raise ValueError("the controller baseline needs a coordinator")
+        self.threshold = threshold
+        self.coordinator = coordinator
+        count = num_switches or len(manager.deployment.switch_names)
+        #: per-switch trigger: report when the local share crosses T/N
+        self.local_trigger = max(1, threshold // count)
+        self._local: Dict[str, int] = {}
+        #: next local count at which to re-report a key
+        self._next_report: Dict[str, int] = {}
+        self.reports_sent = 0
+
+    @classmethod
+    def build_specs(cls, **kwargs) -> List[RegisterSpec]:
+        return []  # all state is switch-local; that is the point
+
+    def process(self, ctx: PacketContext) -> Decision:
+        self.stats.processed += 1
+        key = flow_key(ctx.packet)
+        if key is None or not claim_count(ctx.packet):
+            return self.forward()
+        count = self._local.get(key, 0) + 1
+        self._local[key] = count
+        if count >= self._next_report.get(key, self.local_trigger):
+            self._next_report[key] = count + self.local_trigger
+            self.reports_sent += 1
+            report = _Report(
+                switch=ctx.switch_name, key=key, count=count, sent_at=ctx.now
+            )
+            # the report leaves via the switch control plane
+            self.manager.switch.control.submit(
+                self.coordinator.submit_report, report, label="hh-report"
+            )
+        return self.forward()

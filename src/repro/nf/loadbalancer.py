@@ -1,0 +1,124 @@
+"""L4 load balancer (Table 1, row 4).
+
+"L4 load balancers assign incoming connections to a particular
+destination IP, then forward subsequent packets to the appropriate
+destination IP.  Per-connection consistency (PCC) requires that once an
+IP is assigned to a connection, it does not change, implying a need for
+strong consistency of application state." (paper section 4.1)
+
+Shared state:
+  * ``lb_connections`` — **SRO**, ``control_plane_state=True``: the
+    connection-to-DIP mapping (what SilkRoad keeps in its ConnTable).
+
+The balancer fronts one virtual IP (``vip``).  A SYN to the VIP picks a
+DIP — weighted by a per-switch round-robin over the pool, so different
+switches naturally spread load — writes the mapping through the chain
+(the SYN is buffered until the mapping is visible everywhere), rewrites
+the destination, and forwards.  Every subsequent packet of the
+connection, arriving at *any* switch, reads the mapping locally and
+forwards to the same DIP — per-connection consistency even under
+multipath routing or switch failure.
+
+PCC violations (the same connection reaching two different DIPs) are
+what experiment N1 measures, comparing SwiShmem against a
+sharded/local-state baseline where each switch keeps a private table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.manager import Decision, PacketContext
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.headers import TcpFlags
+from repro.nf.base import NetworkFunction
+
+__all__ = ["LoadBalancerNF"]
+
+
+class LoadBalancerNF(NetworkFunction):
+    """Distributed L4 load balancer with per-connection consistency."""
+
+    NAME = "l4lb"
+
+    def __init__(self, manager, handles, *, vip: str = "100.0.0.100",
+                 dips: Sequence[str] = (), capacity: int = 8192,
+                 pending_slots: Optional[int] = None,
+                 shared_state: bool = True) -> None:
+        super().__init__(manager, handles)
+        if not dips:
+            raise ValueError("load balancer needs at least one DIP")
+        self.vip = vip
+        self.dips = list(dips)
+        self.shared_state = shared_state
+        self.connections = handles.get("lb_connections")
+        #: Baseline mode: per-switch private table (no replication).
+        self._local_table: Dict[Any, str] = {}
+        # Stagger round-robin start per switch so switches do not all
+        # pick dips[0] first.
+        self._rr = manager.deployment.node_id(manager.switch.name) % len(self.dips)
+        self.new_connections = 0
+
+    @classmethod
+    def build_specs(cls, *, vip: str = "100.0.0.100", dips: Sequence[str] = (),
+                    capacity: int = 8192, pending_slots: Optional[int] = None,
+                    shared_state: bool = True) -> List[RegisterSpec]:
+        if not shared_state:
+            return []  # sharded baseline: no shared registers at all
+        return [
+            RegisterSpec(
+                name="lb_connections",
+                consistency=Consistency.SRO,
+                capacity=capacity,
+                key_bytes=13,
+                value_bytes=4,
+                pending_slots=pending_slots,
+                control_plane_state=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def process(self, ctx: PacketContext) -> Decision:
+        self.stats.processed += 1
+        packet = ctx.packet
+        if packet.ipv4 is None or packet.tcp is None or packet.ipv4.dst != self.vip:
+            return self.forward()
+        flow = packet.five_tuple()
+        key = flow.as_tuple()
+        dip = self._lookup(key)
+        if dip is not None:
+            self.stats.state_hits += 1
+            packet.ipv4.dst = dip
+            return self.forward()
+        self.stats.state_misses += 1
+        is_syn = bool(packet.tcp.flags & TcpFlags.SYN) and not (
+            packet.tcp.flags & TcpFlags.ACK
+        )
+        if not is_syn:
+            # Mid-connection packet with no mapping: the connection was
+            # assigned by a switch whose state we cannot see (baseline
+            # mode) or the mapping is still replicating.  A real LB
+            # would reset; we drop and count it.
+            return self.drop()
+        dip = self._pick_dip()
+        self.new_connections += 1
+        self._install(key, dip)
+        packet.ipv4.dst = dip
+        return self.forward()
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> Optional[str]:
+        if self.shared_state:
+            return self.connections.read(key)
+        return self._local_table.get(key)
+
+    def _install(self, key: Any, dip: str) -> None:
+        if self.shared_state:
+            self.connections.write(key, dip)
+        else:
+            self._local_table[key] = dip
+
+    def _pick_dip(self) -> str:
+        dip = self.dips[self._rr % len(self.dips)]
+        self._rr += 1
+        return dip

@@ -1,0 +1,147 @@
+"""Network Address Translator (Table 1, row 1).
+
+"NATs share the connection table among the NF instances.  The table is
+queried on every packet, but only updated when a new connection is
+opened; table rows require strong consistency, otherwise leading to
+broken client connections in case of multi-path routing or switch
+failure.  NATs generally also manage a pool that tracks unassigned
+ports; however, different port ranges can be assigned to different
+switches to avoid sharing this state." (paper section 4.1)
+
+Shared state:
+  * ``nat_table`` — **SRO**, ``control_plane_state=True`` (a P4 table):
+    forward entries ``("f", src_ip, src_port, proto) -> nat_port`` and
+    reverse entries ``("r", nat_port) -> (src_ip, src_port)``.  Both are
+    written atomically as one packet's write set Q.
+
+Local (unshared) state:
+  * the per-switch port range — a disjoint slice of the NAT port space,
+    exactly the paper's sharding suggestion.
+
+Outbound packets (from ``internal_prefix``) are source-NATed to
+``nat_ip``; inbound packets to ``nat_ip`` are looked up by destination
+port and rewritten back.  The first packet of a connection blocks on
+the chain write (its rewritten output is buffered by the control plane
+until the mapping commits on every switch); every later packet — on
+*any* switch — finds the mapping with a local read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.manager import Decision, PacketContext
+from repro.core.registers import Consistency, RegisterSpec
+from repro.nf.base import NetworkFunction
+
+__all__ = ["NatNF"]
+
+#: NAT port pool: [base, base + pool size).
+NAT_PORT_BASE = 20000
+NAT_PORT_POOL = 20000
+
+
+class NatNF(NetworkFunction):
+    """Distributed stateful NAT on SwiShmem SRO registers."""
+
+    NAME = "nat"
+
+    def __init__(self, manager, handles, *, nat_ip: str = "100.0.0.1",
+                 internal_prefix: str = "10.", capacity: int = 4096,
+                 pending_slots: Optional[int] = None) -> None:
+        super().__init__(manager, handles)
+        self.nat_ip = nat_ip
+        self.internal_prefix = internal_prefix
+        self.table = handles["nat_table"]
+        # Per-switch disjoint port range (no shared pool state).
+        index = manager.deployment.node_id(manager.switch.name)
+        count = len(manager.deployment.switch_names)
+        share = NAT_PORT_POOL // count
+        self._next_port = NAT_PORT_BASE + index * share
+        self._port_limit = self._next_port + share
+        self.ports_allocated = 0
+
+    @classmethod
+    def build_specs(cls, *, nat_ip: str = "100.0.0.1", internal_prefix: str = "10.",
+                    capacity: int = 4096, pending_slots: Optional[int] = None) -> List[RegisterSpec]:
+        return [
+            RegisterSpec(
+                name="nat_table",
+                consistency=Consistency.SRO,
+                capacity=capacity,
+                key_bytes=12,
+                value_bytes=8,
+                pending_slots=pending_slots,
+                control_plane_state=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def process(self, ctx: PacketContext) -> Decision:
+        self.stats.processed += 1
+        packet = ctx.packet
+        if packet.ipv4 is None or (packet.tcp is None and packet.udp is None):
+            return self.forward()
+        if packet.ipv4.src.startswith(self.internal_prefix):
+            return self._outbound(ctx)
+        if packet.ipv4.dst == self.nat_ip:
+            return self._inbound(ctx)
+        return self.forward()
+
+    # ------------------------------------------------------------------
+    def _l4(self, packet) -> Tuple[int, int]:
+        header = packet.tcp if packet.tcp is not None else packet.udp
+        return header.src_port, header.dst_port
+
+    def _set_src(self, packet, ip: str, port: int) -> None:
+        packet.ipv4.src = ip
+        header = packet.tcp if packet.tcp is not None else packet.udp
+        header.src_port = port
+
+    def _set_dst(self, packet, ip: str, port: int) -> None:
+        packet.ipv4.dst = ip
+        header = packet.tcp if packet.tcp is not None else packet.udp
+        header.dst_port = port
+
+    def _outbound(self, ctx: PacketContext) -> Decision:
+        packet = ctx.packet
+        src_port, _ = self._l4(packet)
+        proto = packet.ipv4.protocol
+        forward_key = ("f", packet.ipv4.src, src_port, proto)
+        nat_port = self.table.read(forward_key)
+        if nat_port is not None:
+            self.stats.state_hits += 1
+            self._set_src(packet, self.nat_ip, nat_port)
+            return self.forward()
+        # New connection: allocate from the local range and install both
+        # mappings.  The rewritten packet is the buffered output P'.
+        self.stats.state_misses += 1
+        nat_port = self._allocate_port()
+        if nat_port is None:
+            return self.drop()
+        original = (packet.ipv4.src, src_port)
+        self.table.write(forward_key, nat_port)
+        self.table.write(("r", nat_port), original)
+        self._set_src(packet, self.nat_ip, nat_port)
+        return self.forward()
+
+    def _inbound(self, ctx: PacketContext) -> Decision:
+        packet = ctx.packet
+        _, dst_port = self._l4(packet)
+        original = self.table.read(("r", dst_port))
+        if original is None:
+            # No mapping: unsolicited inbound traffic is dropped.
+            self.stats.state_misses += 1
+            return self.drop()
+        self.stats.state_hits += 1
+        inside_ip, inside_port = original
+        self._set_dst(packet, inside_ip, inside_port)
+        return self.forward()
+
+    def _allocate_port(self) -> Optional[int]:
+        if self._next_port >= self._port_limit:
+            return None
+        port = self._next_port
+        self._next_port += 1
+        self.ports_allocated += 1
+        return port

@@ -1,0 +1,281 @@
+"""The central controller: failure detection, chain repair, recovery.
+
+Paper section 6.3 assumes "a central controller can detect which
+switches have failed" and sketches the two phases we implement:
+
+**Failover** (automatic, driven by the detector):
+
+* SRO — "we regain connectivity by reprogramming the routing of the
+  failed switch neighbors" and repair the chain by excising the failed
+  member.  In-flight writes time out at their writers' control planes
+  and are retried against the repaired chain.
+* EWO — "other than removing the failed switch from the multicast
+  group, no explicit failover protocol is needed."
+
+**Recovery** (operator-initiated via :meth:`recover_switch`):
+
+* The switch restarts with volatile data-plane memory wiped.
+* EWO — re-join the multicast groups and wait for periodic sync; CRDT
+  state (including the rejoining switch's own counter slots) flows back
+  from the other replicas.
+* SRO — append to the chain in *catch-up* mode (gap-tolerant apply),
+  wait a drain delay so in-flight old-chain writes settle, transfer a
+  snapshot from the current read tail, and finally promote the new
+  member to read tail.
+
+Failure detection is modeled as periodic liveness polling with period
+``detect_period``: detection latency is bounded by one period, matching
+a heartbeat-timeout detector without simulating heartbeat packets.
+Configuration pushes to switch control planes pay ``config_latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.sim.engine import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import SwiShmemDeployment
+
+__all__ = ["CentralController", "FailureEvent", "RecoveryEvent"]
+
+DEFAULT_DETECT_PERIOD = 500e-6
+#: Latency for the controller to push one config update to one switch.
+DEFAULT_CONFIG_LATENCY = 100e-6
+#: Wait for in-flight old-chain writes to settle before snapshotting.
+DEFAULT_DRAIN_DELAY = 5e-3
+
+
+@dataclass
+class FailureEvent:
+    """Bookkeeping for one detected switch failure."""
+
+    switch: str
+    failed_at: float
+    detected_at: float
+    chains_repaired: List[int] = field(default_factory=list)
+    multicast_groups_updated: int = 0
+
+    @property
+    def detection_latency(self) -> float:
+        return self.detected_at - self.failed_at
+
+
+@dataclass
+class RecoveryEvent:
+    """Bookkeeping for one switch recovery."""
+
+    switch: str
+    started_at: float
+    ewo_rejoined_at: Optional[float] = None
+    promoted_at: Dict[int, float] = field(default_factory=dict)
+
+    def sro_recovery_time(self, group_id: int) -> Optional[float]:
+        promoted = self.promoted_at.get(group_id)
+        if promoted is None:
+            return None
+        return promoted - self.started_at
+
+
+class CentralController:
+    """Deployment-wide failure detector and reconfiguration engine."""
+
+    def __init__(
+        self,
+        deployment: "SwiShmemDeployment",
+        detect_period: float = DEFAULT_DETECT_PERIOD,
+        config_latency: float = DEFAULT_CONFIG_LATENCY,
+        drain_delay: float = DEFAULT_DRAIN_DELAY,
+    ) -> None:
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.detect_period = detect_period
+        self.config_latency = config_latency
+        self.drain_delay = drain_delay
+        self._known_failed: Set[str] = set()
+        self._fail_times: Dict[str, float] = {}
+        self._known_down_links: Set[frozenset] = set()
+        self.link_events = 0
+        self.failures: List[FailureEvent] = []
+        self.recoveries: List[RecoveryEvent] = []
+        self._detector = Process(
+            self.sim, detect_period, self._poll, name="controller:detect"
+        ).start()
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def note_failure_time(self, switch_name: str) -> None:
+        """Experiments call this when injecting a fault, so detection
+        latency can be measured.  Optional."""
+        self._fail_times.setdefault(switch_name, self.sim.now)
+
+    def _poll(self) -> None:
+        for switch in self.deployment.switches:
+            if switch.failed and switch.name not in self._known_failed:
+                self._on_failure_detected(switch.name)
+            elif not switch.failed and switch.name in self._known_failed:
+                # recovered out-of-band; forget so a second failure is seen
+                pass
+        self._poll_links()
+
+    def _poll_links(self) -> None:
+        """Link failures only require re-routing (paper 6.3: 'links …
+        may fail'; the replication protocols themselves retry/resync
+        over whatever paths remain)."""
+        down_now = {
+            frozenset((link.a.name, link.b.name))
+            for link in self.deployment.topo.links
+            if not link.up
+        }
+        if down_now != self._known_down_links:
+            self._known_down_links = down_now
+            self.link_events += 1
+            self.deployment.routing.recompute()
+
+    def _on_failure_detected(self, name: str) -> None:
+        self._known_failed.add(name)
+        event = FailureEvent(
+            switch=name,
+            failed_at=self._fail_times.get(name, self.sim.now),
+            detected_at=self.sim.now,
+        )
+        self.failures.append(event)
+        # "First, we regain connectivity by reprogramming the routing of
+        # the failed switch neighbors."
+        self.deployment.routing.recompute()
+        # SRO: excise the member from every chain it belongs to.
+        for group_id, chain in list(self.deployment.chains.items()):
+            if name in chain:
+                repaired = chain.without(name)
+                self._push_chain(repaired)
+                event.chains_repaired.append(group_id)
+        # EWO: drop from every multicast group; nothing else needed.
+        event.multicast_groups_updated = (
+            self.deployment.multicast.remove_member_everywhere(name)
+        )
+
+    def _push_chain(self, chain) -> None:
+        """Distribute a descriptor to all live switches' control planes."""
+        self.deployment.chains[chain.chain_id] = chain
+        for manager in self.deployment.managers.values():
+            if manager.switch.failed:
+                continue
+            if chain.chain_id not in manager.sro.groups:
+                continue
+            self.sim.schedule(
+                self.config_latency,
+                manager.sro.set_chain,
+                chain.chain_id,
+                chain,
+                label="controller:push-chain",
+            )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover_switch(self, name: str, wipe_state: bool = True) -> RecoveryEvent:
+        """Bring a failed switch back into the deployment.
+
+        ``wipe_state=True`` models a restarted switch whose volatile
+        data-plane registers are empty (the realistic case).
+        """
+        manager = self.deployment.manager(name)
+        switch = manager.switch
+        if not switch.failed:
+            raise ValueError(f"{name} has not failed; nothing to recover")
+        event = RecoveryEvent(switch=name, started_at=self.sim.now)
+        self.recoveries.append(event)
+        switch.recover()
+        self._known_failed.discard(name)
+        self._fail_times.pop(name, None)
+        self.deployment.routing.recompute()
+        if wipe_state:
+            self._wipe_state(manager)
+        # EWO: rejoin multicast groups and restart the sync generators.
+        rejoined = False
+        for group_id, state in manager.ewo.groups.items():
+            self.deployment.multicast.get(group_id).add(name)
+            manager.restart_ewo_sync(group_id)
+            rejoined = True
+        if rejoined:
+            event.ewo_rejoined_at = self.sim.now
+        # SRO: append to each chain in catch-up mode, then snapshot.
+        for group_id in list(manager.sro.groups):
+            chain = self.deployment.chains.get(group_id)
+            if chain is None:
+                continue
+            if name in chain:
+                # We were never excised (failure undetected) — nothing to do.
+                continue
+            appended = chain.with_appended(name)
+            manager.sro.set_catching_up(group_id, True)
+            self._push_chain(appended)
+            # Let in-flight old-chain writes settle before snapshotting,
+            # so the snapshot provably covers every committed write that
+            # did not flow through the new member.
+            self.sim.schedule(
+                self.drain_delay,
+                self._start_snapshot,
+                group_id,
+                name,
+                event,
+                label="controller:snapshot-start",
+            )
+        return event
+
+    def _wipe_state(self, manager) -> None:
+        for state in manager.sro.groups.values():
+            state.store.clear()
+            slots = state.pending.slots
+            state.pending._next_seq = [0] * slots
+            state.pending._applied_seq = [0] * slots
+            state.pending._pending = [False] * slots
+            state.pending._pending_seq = [0] * slots
+            state.dedup.clear()
+        for state in manager.ewo.groups.values():
+            state.vectors.clear()
+            if state.cells is not None:
+                state.cells.clear()
+            if state.sets is not None:
+                state.sets.clear()
+            state._pending_entries.clear()
+
+    def _start_snapshot(self, group_id: int, target: str, event: RecoveryEvent) -> None:
+        chain = self.deployment.chains[group_id]
+        source = chain.read_tail
+        if source == target:
+            # Degenerate single-member chain: nothing to copy.
+            self._promote(group_id, target, event)
+            return
+        self.deployment.failover.start_transfer(
+            group_id,
+            source=source,
+            target=target,
+            on_complete=lambda: self._promote(group_id, target, event),
+        )
+
+    def _promote(self, group_id: int, target: str, event: RecoveryEvent) -> None:
+        """Catch-up finished: the new member replaces the read tail."""
+        chain = self.deployment.chains[group_id]
+        if target in chain and chain.read_tail != target:
+            self._push_chain(chain.promoted())
+        manager = self.deployment.manager(target)
+        if not manager.switch.failed:
+            self.sim.schedule(
+                self.config_latency,
+                manager.sro.set_catching_up,
+                group_id,
+                False,
+                label="controller:end-catchup",
+            )
+        event.promoted_at[group_id] = self.sim.now
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._detector.stop()
+
+    def last_failure(self) -> Optional[FailureEvent]:
+        return self.failures[-1] if self.failures else None

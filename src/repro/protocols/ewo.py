@@ -1,0 +1,463 @@
+"""The Eventual Write Optimized protocol (paper section 6.2).
+
+EWO registers have cheap reads *and* writes: everything is local, and
+replication is asynchronous.
+
+* **Writes** apply to the local replica immediately; the output packet
+  leaves at once.  The switch then broadcasts a small ``EwoUpdate`` —
+  "egress mirroring and the multicast engine" (section 7) — carrying
+  only this switch's new version numbers and values.  Updates may be
+  batched (``ewo_batch_size``), trading bandwidth for staleness
+  (experiment A2).
+
+* **Merging** is per the group's mode: last-writer-wins with
+  (timestamp, switch-id) versions, or CRDT counters as a per-switch slot
+  vector with element-wise max merge.
+
+* **Periodic synchronization** replaces retransmission: the switch's
+  packet generator iterates the register state every ``sync_period`` and
+  ships the *full* known state (all replicas' slots, not just our own)
+  to a randomly selected group member.  Full-state gossip is what makes
+  the protocol self-healing under loss and failure: "any switch that did
+  receive the update can then synchronize the other switches" (6.3).
+
+No failover protocol exists because none is needed: the controller just
+drops failed switches from the multicast group; recovery adds the switch
+back and waits one sync round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.registers import EwoMode, RegisterSpec
+from repro.crdt.clock import HybridClock, Timestamp
+from repro.crdt.lww import LwwRegister
+from repro.crdt.orset import ORSet
+from repro.net.headers import SwiShmemHeader, SwiShmemOp
+from repro.net.packet import Packet
+from repro.protocols.messages import EwoEntry, EwoSync, EwoUpdate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import SwiShmemManager
+
+__all__ = ["EwoEngine", "EwoGroupState", "EwoStats"]
+
+#: Entries per sync packet, keeping sync packets around an MTU.
+SYNC_ENTRIES_PER_PACKET = 48
+
+
+class EwoStats:
+    """Per-group EWO counters on one switch."""
+
+    __slots__ = (
+        "local_writes",
+        "local_reads",
+        "updates_sent",
+        "update_packets_sent",
+        "updates_received",
+        "merges_applied",
+        "merges_stale",
+        "sync_packets_sent",
+        "sync_entries_sent",
+        "sync_packets_received",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class EwoGroupState:
+    """One EWO register group's replica state on one switch.
+
+    Counter mode stores, per key, a vector with one slot per replica —
+    "one register array for each switch in the replica group" (paper
+    section 7).  LWW mode stores (value, version) pairs; packet-
+    processing atomicity lets both be updated in one pass.
+    """
+
+    def __init__(
+        self,
+        spec: RegisterSpec,
+        budget,
+        group_members: List[str],
+        my_slot: int,
+        clock: HybridClock,
+    ) -> None:
+        self.spec = spec
+        self.members = list(group_members)
+        self.my_slot = my_slot
+        self.clock = clock
+        self.stats = EwoStats()
+        self._pending_entries: List[EwoEntry] = []
+        if spec.ewo_mode is EwoMode.COUNTER:
+            per_key = len(group_members) * (4 + spec.value_bytes)  # version+value per slot
+            budget.allocate(f"ewo-store:{spec.name}", spec.capacity * per_key)
+            self.vectors: Dict[Any, List[int]] = {}
+            self.cells: Optional[Dict[Any, LwwRegister]] = None
+            self.sets: Optional[Dict[Any, ORSet]] = None
+        elif spec.ewo_mode is EwoMode.ORSET:
+            # The open-question accounting: each element costs add tags
+            # (and, after removal, tombstones).  Budget for value_bytes
+            # elements per key, two tags each (live + tombstone).
+            per_key = spec.value_bytes * 2 * ORSet.TAG_BYTES
+            budget.allocate(f"ewo-store:{spec.name}", spec.capacity * per_key)
+            self.vectors = {}
+            self.cells = None
+            self.sets = {}
+        else:
+            per_key = Timestamp.wire_size + spec.value_bytes
+            budget.allocate(f"ewo-store:{spec.name}", spec.capacity * per_key)
+            self.vectors = {}
+            self.cells = {}
+            self.sets = None
+
+    # --- counter mode ----------------------------------------------------
+    def vector_for(self, key: Any) -> List[int]:
+        vector = self.vectors.get(key)
+        if vector is None:
+            vector = [0] * len(self.members)
+            self.vectors[key] = vector
+        return vector
+
+    # --- lww mode ----------------------------------------------------
+    def cell_for(self, key: Any) -> LwwRegister:
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = LwwRegister(self.spec.default)
+            self.cells[key] = cell
+        return cell
+
+    # --- orset mode ----------------------------------------------------
+    def set_for(self, key: Any) -> ORSet:
+        orset = self.sets.get(key)
+        if orset is None:
+            orset = ORSet(node_id=self.my_slot)
+            self.sets[key] = orset
+        return orset
+
+
+class EwoEngine:
+    """Per-switch EWO protocol engine."""
+
+    def __init__(self, manager: "SwiShmemManager", sync_period: float = 1e-3) -> None:
+        self.manager = manager
+        self.switch = manager.switch
+        self.sim = manager.sim
+        self.sync_period = sync_period
+        self.groups: Dict[int, EwoGroupState] = {}
+        self._sync_rng = manager.rng.stream(f"ewo-sync:{self.switch.name}")
+
+    # ------------------------------------------------------------------
+    def add_group(
+        self, spec: RegisterSpec, members: List[str], clock: HybridClock
+    ) -> EwoGroupState:
+        if self.switch.name not in members:
+            raise ValueError(
+                f"{self.switch.name} is not a member of EWO group {spec.name!r}"
+            )
+        my_slot = members.index(self.switch.name)
+        state = EwoGroupState(spec, self.switch.memory, members, my_slot, clock)
+        self.groups[spec.group_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Local operations (paper 6.2: reads local, writes local + async)
+    # ------------------------------------------------------------------
+    def read(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
+        state = self.groups[spec.group_id]
+        state.stats.local_reads += 1
+        if spec.ewo_mode is EwoMode.COUNTER:
+            vector = state.vectors.get(key)
+            if vector is None:
+                return 0 if default is None else default
+            return sum(vector)
+        if spec.ewo_mode is EwoMode.ORSET:
+            orset = state.sets.get(key)
+            if orset is None:
+                return frozenset() if default is None else default
+            return frozenset(orset.elements())
+        cell = state.cells.get(key)
+        if cell is None or cell.value is None:
+            return default if default is not None else spec.default
+        return cell.value
+
+    def write(self, spec: RegisterSpec, key: Any, value: Any) -> None:
+        """LWW write: stamp with the local clock, queue the broadcast."""
+        state = self.groups[spec.group_id]
+        if spec.ewo_mode is EwoMode.COUNTER:
+            raise TypeError(
+                f"group {spec.name!r} is a counter group; use increment()"
+            )
+        stamp = state.clock.now()
+        state.cell_for(key).write(value, stamp)
+        state.stats.local_writes += 1
+        self._queue_entry(state, EwoEntry(key=key, version=stamp, value=value))
+
+    def increment(self, spec: RegisterSpec, key: Any, amount: int) -> int:
+        """CRDT counter increment on our own slot; returns the global sum."""
+        state = self.groups[spec.group_id]
+        if spec.ewo_mode is not EwoMode.COUNTER:
+            raise TypeError(f"group {spec.name!r} is not a counter group")
+        vector = state.vector_for(key)
+        vector[state.my_slot] += amount
+        state.stats.local_writes += 1
+        self._queue_entry(
+            state, EwoEntry(key=key, version=state.my_slot, value=vector[state.my_slot])
+        )
+        return sum(vector)
+
+    def set_add(self, spec: RegisterSpec, key: Any, element: Any) -> None:
+        """OR-Set add: tag locally, ship the (element, tag) delta."""
+        state = self.groups[spec.group_id]
+        if spec.ewo_mode is not EwoMode.ORSET:
+            raise TypeError(f"group {spec.name!r} is not an OR-Set group")
+        tag = state.set_for(key).add(element)
+        state.stats.local_writes += 1
+        self._queue_entry(state, EwoEntry(key=key, version=("add", tag), value=element))
+
+    def set_remove(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        """OR-Set remove: tombstone the observed tags and ship them."""
+        state = self.groups[spec.group_id]
+        if spec.ewo_mode is not EwoMode.ORSET:
+            raise TypeError(f"group {spec.name!r} is not an OR-Set group")
+        orset = state.set_for(key)
+        observed = tuple(sorted(orset.element_state(element)[0]))
+        if not orset.remove(element):
+            return False
+        state.stats.local_writes += 1
+        self._queue_entry(
+            state, EwoEntry(key=key, version=("rm", observed), value=element)
+        )
+        return True
+
+    def set_contains(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        state = self.groups[spec.group_id]
+        if spec.ewo_mode is not EwoMode.ORSET:
+            raise TypeError(f"group {spec.name!r} is not an OR-Set group")
+        state.stats.local_reads += 1
+        orset = state.sets.get(key)
+        return orset is not None and element in orset
+
+    def orset_footprint(self, group_id: int) -> int:
+        """Total tag bytes across this replica's OR-Sets — the metric
+        behind the paper's 'implementable in a data plane?' question."""
+        state = self.groups[group_id]
+        if state.sets is None:
+            return 0
+        return sum(s.state_bytes for s in state.sets.values())
+
+    # ------------------------------------------------------------------
+    # Asynchronous broadcast
+    # ------------------------------------------------------------------
+    def _queue_entry(self, state: EwoGroupState, entry: EwoEntry) -> None:
+        state._pending_entries.append(entry)
+        if len(state._pending_entries) >= state.spec.ewo_batch_size:
+            self.flush(state.spec.group_id)
+
+    def flush(self, group_id: int) -> int:
+        """Broadcast queued entries to the replica group.  Returns copies sent."""
+        state = self.groups[group_id]
+        if not state._pending_entries:
+            return 0
+        entries = state._pending_entries
+        state._pending_entries = []
+        directory = getattr(self.manager.deployment, "directory", None)
+        if directory is not None and state.spec.partial_replication:
+            return self._flush_partial(state, entries, directory)
+        update = EwoUpdate(
+            group=group_id,
+            origin=self.switch.name,
+            entries=entries,
+            key_bytes=state.spec.key_bytes,
+            value_bytes=state.spec.value_bytes,
+        )
+        state.stats.updates_sent += len(update.entries)
+        state.stats.update_packets_sent += 1
+        packet = Packet(
+            swishmem=SwiShmemHeader(op=SwiShmemOp.EWO_UPDATE, register_group=group_id),
+            swishmem_payload=update,
+        )
+        return self.switch.multicast_to_group(packet, group_id)
+
+    def _flush_partial(self, state: EwoGroupState, entries: List[EwoEntry], directory) -> int:
+        """Section 9 extension: replicate each key only to its directory-
+        assigned replicas, instead of to the whole group."""
+        group_id = state.spec.group_id
+        live = set(self.switch.multicast.get(group_id).members) if self.switch.multicast else set(state.members)
+        per_target: Dict[str, List[EwoEntry]] = {}
+        for entry in entries:
+            replicas = directory.replicas_of(group_id, entry.key)
+            for target in replicas:
+                if target != self.switch.name and target in live:
+                    per_target.setdefault(target, []).append(entry)
+        copies = 0
+        for target in sorted(per_target):
+            update = EwoUpdate(
+                group=group_id,
+                origin=self.switch.name,
+                entries=per_target[target],
+                key_bytes=state.spec.key_bytes,
+                value_bytes=state.spec.value_bytes,
+            )
+            packet = Packet(
+                swishmem=SwiShmemHeader(
+                    op=SwiShmemOp.EWO_UPDATE, register_group=group_id, dst_node=target
+                ),
+                swishmem_payload=update,
+            )
+            if self.switch.forward_to_node(packet, target):
+                copies += 1
+                state.stats.updates_sent += len(update.entries)
+                state.stats.update_packets_sent += 1
+        return copies
+
+    # ------------------------------------------------------------------
+    # Merge path (receiving side)
+    # ------------------------------------------------------------------
+    def handle_update(self, update: EwoUpdate) -> None:
+        state = self.groups.get(update.group)
+        if state is None:
+            return
+        is_sync = isinstance(update, EwoSync)
+        if is_sync:
+            state.stats.sync_packets_received += 1
+        for entry in update.entries:
+            state.stats.updates_received += 1
+            if self._merge_entry(state, entry):
+                state.stats.merges_applied += 1
+            else:
+                state.stats.merges_stale += 1
+
+    def _merge_entry(self, state: EwoGroupState, entry: EwoEntry) -> bool:
+        if state.spec.ewo_mode is EwoMode.COUNTER:
+            slot = entry.version
+            if not isinstance(slot, int) or not 0 <= slot < len(state.members):
+                return False
+            vector = state.vector_for(entry.key)
+            if entry.value > vector[slot]:
+                vector[slot] = entry.value
+                return True
+            return False
+        if state.spec.ewo_mode is EwoMode.ORSET:
+            return self._merge_orset_entry(state, entry)
+        stamp = entry.version
+        state.clock.witness(stamp)
+        return state.cell_for(entry.key).merge(entry.value, stamp)
+
+    def _merge_orset_entry(self, state: EwoGroupState, entry: EwoEntry) -> bool:
+        orset = state.set_for(entry.key)
+        kind = entry.version[0]
+        if kind == "add":
+            return orset.apply_add(entry.value, entry.version[1])
+        if kind == "rm":
+            return orset.apply_remove(entry.value, entry.version[1])
+        if kind == "state":
+            _, add_tags, remove_tags = entry.version
+            changed_add = False
+            for tag in add_tags:
+                changed_add = orset.apply_add(entry.value, tag) or changed_add
+            changed_rm = orset.apply_remove(entry.value, remove_tags)
+            return changed_add or changed_rm
+        return False
+
+    # ------------------------------------------------------------------
+    # Periodic synchronization (paper 6.2 / 7)
+    # ------------------------------------------------------------------
+    def sync_tick(self, group_id: int) -> int:
+        """One packet-generator round: gossip full state to a random member.
+
+        Returns the number of sync packets emitted.
+        """
+        state = self.groups.get(group_id)
+        if state is None or self.switch.failed:
+            return 0
+        target = self._pick_sync_target(group_id)
+        if target is None:
+            return 0
+        entries = self._full_state_entries(state)
+        directory = getattr(self.manager.deployment, "directory", None)
+        if directory is not None and state.spec.partial_replication:
+            # partial replication: gossip to the target only the keys it
+            # is a replica of
+            entries = [
+                e for e in entries
+                if target in directory.replicas_of(group_id, e.key)
+            ]
+        packets = 0
+        for start in range(0, len(entries), SYNC_ENTRIES_PER_PACKET):
+            chunk = entries[start : start + SYNC_ENTRIES_PER_PACKET]
+            sync = EwoSync(
+                group=group_id,
+                origin=self.switch.name,
+                entries=chunk,
+                key_bytes=state.spec.key_bytes,
+                value_bytes=state.spec.value_bytes,
+            )
+            packet = Packet(
+                swishmem=SwiShmemHeader(
+                    op=SwiShmemOp.EWO_SYNC, register_group=group_id, dst_node=target
+                ),
+                swishmem_payload=sync,
+            )
+            if self.switch.generate_packet(packet, target):
+                packets += 1
+                state.stats.sync_packets_sent += 1
+                state.stats.sync_entries_sent += len(chunk)
+        return packets
+
+    def _pick_sync_target(self, group_id: int) -> Optional[str]:
+        registry = self.switch.multicast
+        if registry is None:
+            return None
+        others = registry.get(group_id).others(self.switch.name)
+        if not others:
+            return None
+        return self._sync_rng.choice(others)
+
+    def _full_state_entries(self, state: EwoGroupState) -> List[EwoEntry]:
+        """All state we know — every replica's slots, not just ours."""
+        entries: List[EwoEntry] = []
+        if state.spec.ewo_mode is EwoMode.COUNTER:
+            for key in sorted(state.vectors, key=repr):
+                for slot, value in enumerate(state.vectors[key]):
+                    if value:
+                        entries.append(EwoEntry(key=key, version=slot, value=value))
+        elif state.spec.ewo_mode is EwoMode.ORSET:
+            for key in sorted(state.sets, key=repr):
+                orset = state.sets[key]
+                for element in sorted(orset.known_elements(), key=repr):
+                    add_tags, remove_tags = orset.element_state(element)
+                    entries.append(
+                        EwoEntry(
+                            key=key,
+                            version=("state", add_tags, remove_tags),
+                            value=element,
+                        )
+                    )
+        else:
+            for key in sorted(state.cells, key=repr):
+                cell = state.cells[key]
+                if cell.version.node_id >= 0:  # ever written
+                    entries.append(
+                        EwoEntry(key=key, version=cell.version, value=cell.value)
+                    )
+        return entries
+
+    # ------------------------------------------------------------------
+    def stats_for(self, group_id: int) -> EwoStats:
+        return self.groups[group_id].stats
+
+    def local_state(self, group_id: int) -> Dict[Any, Any]:
+        """Readable view of the local replica (for convergence checks)."""
+        state = self.groups[group_id]
+        if state.spec.ewo_mode is EwoMode.COUNTER:
+            return {key: sum(vector) for key, vector in state.vectors.items()}
+        if state.spec.ewo_mode is EwoMode.ORSET:
+            return {key: frozenset(s.elements()) for key, s in state.sets.items()}
+        return {key: cell.value for key, cell in state.cells.items()}

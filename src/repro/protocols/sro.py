@@ -1,0 +1,682 @@
+"""The read-optimized replication protocols: SRO and ERO (paper section 6.1).
+
+SRO adapts chain replication to the in-switch setting:
+
+* **Writes** never apply immediately at the writer.  The output packet
+  P' and the write set Q are punted to the writer's control plane, which
+  buffers P' in DRAM, sends a ``WriteRequest`` to the chain head, and
+  retries on timeout (the data plane cannot buffer or run timers).
+
+* The **head** assigns a per-slot sequence number (slots may be shared
+  between keys, section 7), applies the write, sets the pending bit, and
+  propagates a ``ChainUpdate`` down the chain.  Each member applies
+  in-order updates, sets its pending bit, and forwards; duplicates are
+  forwarded without re-applying, gaps are dropped (the writer's retry
+  recovers them).
+
+* The **tail** (last member) applies and emits ``WriteAck`` packets to
+  the writer — whose control plane releases the buffered output — and to
+  every other member, which clear their pending bits.  Ack processing is
+  pure data plane (paper section 3.3's atomic multi-location write).
+
+* **Reads** are local when the key's pending bit is clear.  Otherwise
+  the input packet is forwarded to the read tail and re-processed there
+  against the latest committed state (the CRAQ-derived optimization).
+
+**ERO** shares the entire write path but always reads locally: no
+pending bits are kept (saving their memory), reads have bounded latency,
+and consistency drops to eventual during write propagation.
+
+SRO writes have *register semantics* (full-value overwrite), which makes
+the at-least-once delivery of the retry path safe: re-applying a write
+under a fresh sequence number is idempotent with respect to the stored
+value.  The head additionally keeps a token dedup table so a retry whose
+original request did arrive re-propagates the original sequence number
+instead of double-sequencing.
+
+Failure handling (section 6.3) lives in ``repro.protocols.failover``;
+this engine exposes the hooks it needs: descriptor swaps, catch-up mode
+(gap-tolerant apply), and control-plane snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.chain import ChainDescriptor
+from repro.core.pending import PendingTable
+from repro.core.registers import Consistency, ReadForwarded, RegisterSpec
+from repro.net.headers import SwiShmemHeader, SwiShmemOp
+from repro.net.packet import Packet
+from repro.protocols.messages import ChainUpdate, WriteAck, WriteRequest, WriteToken
+from repro.switch.pisa import RECIRCULATION_LATENCY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import SwiShmemManager
+
+__all__ = ["SroEngine", "SroGroupState", "SroStats"]
+
+#: Control-plane retry timeout for unacknowledged writes.
+DEFAULT_WRITE_TIMEOUT = 2e-3
+#: Exponential backoff cap.
+MAX_WRITE_TIMEOUT = 50e-3
+#: Give up after this many attempts (a write that cannot commit through
+#: a repaired chain indicates a partitioned deployment).
+MAX_WRITE_ATTEMPTS = 25
+
+
+@dataclass
+class _OutstandingWrite:
+    """Writer-side control-plane state for one in-flight write."""
+
+    request: WriteRequest
+    timer: Any = None
+    started_at: float = 0.0
+    attempts: int = 0
+    #: Number of writes from the same packet still unacked (the output
+    #: packet releases when the *last* one commits).
+    barrier: Optional["_PacketBarrier"] = None
+
+
+@dataclass
+class _PacketBarrier:
+    """Joins the multiple writes of one packet's write set Q."""
+
+    token: Optional[WriteToken]
+    remaining: int
+    #: committed values by key (fetch-add results ride the acks)
+    results: Dict[Any, Any] = field(default_factory=dict)
+    #: called with (output_packet, results) just before the output is
+    #: released — the hook sequencer-style NFs use to stamp the packet
+    on_release: Optional[Any] = None
+
+
+@dataclass
+class _DataplaneHold:
+    """An output packet 'buffered' by recirculation (section 9 variant).
+
+    The packet never leaves the pipeline: every RECIRCULATION_LATENCY it
+    takes another pass (costing a pipeline slot, which we account), and
+    periodically the data plane retransmits the write requests it is
+    waiting on — buffering and retransmission with no CPU involvement.
+    """
+
+    token: WriteToken
+    packet: Optional[Any]
+    dst_node: Optional[str]
+    write_tokens: List[WriteToken]
+    started_at: float
+    recirculations: int = 0
+    resends: int = 0
+
+
+#: Recirculations between data-plane retransmissions of an unacked write
+#: (64 passes x 800 ns ~ 51 us, a few chain RTTs).
+DP_RESEND_EVERY = 64
+#: Give up after this many data-plane retransmissions.
+DP_MAX_RESENDS = 200
+
+
+class SroStats:
+    """Per-group protocol counters on one switch."""
+
+    __slots__ = (
+        "writes_initiated",
+        "writes_committed",
+        "writes_failed",
+        "retries",
+        "local_reads",
+        "forwarded_reads",
+        "tail_reads",
+        "chain_updates_seen",
+        "duplicate_updates",
+        "out_of_order_drops",
+        "acks_seen",
+        "write_latency_sum",
+        "write_latency_samples",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def record_write_latency(self, latency: float) -> None:
+        self.write_latency_sum += latency
+        self.write_latency_samples += 1
+
+    @property
+    def mean_write_latency(self) -> float:
+        if not self.write_latency_samples:
+            return 0.0
+        return self.write_latency_sum / self.write_latency_samples
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class SroGroupState:
+    """One register group's replica state on one switch."""
+
+    def __init__(self, spec: RegisterSpec, budget, chain: ChainDescriptor) -> None:
+        self.spec = spec
+        self.chain = chain
+        #: The backing store.  For ``control_plane_state`` groups this
+        #: models a P4 table; otherwise a register array.  Either way the
+        #: data-plane memory footprint is capacity * (key + value) bytes.
+        budget.allocate(
+            f"sro-store:{spec.name}", spec.capacity * (spec.key_bytes + spec.value_bytes)
+        )
+        self.store: Dict[Any, Any] = {}
+        track_pending = spec.consistency is Consistency.SRO
+        self.pending = PendingTable(
+            spec.name, spec.effective_pending_slots(), budget
+        )
+        self.track_pending = track_pending
+        # Head-side dedup: token -> (seq, slot, assigned value).  The
+        # assigned value matters for fetch-add retries: re-sequencing a
+        # duplicate must re-propagate the original result, not add again.
+        self.dedup: "OrderedDict[WriteToken, Tuple[int, int, Any]]" = OrderedDict()
+        self.dedup_capacity = max(64, spec.capacity // 4)
+        budget.allocate(
+            f"sro-dedup:{spec.name}", self.dedup_capacity * (12 + spec.value_bytes)
+        )
+        #: Catch-up mode: gap-tolerant apply during recovery (section 6.3).
+        self.catching_up = False
+        self.stats = SroStats()
+
+    def remember_token(self, token: WriteToken, seq: int, slot: int, value: Any) -> None:
+        if token in self.dedup:
+            return
+        if len(self.dedup) >= self.dedup_capacity:
+            self.dedup.popitem(last=False)
+        self.dedup[token] = (seq, slot, value)
+
+
+class SroEngine:
+    """Per-switch SRO/ERO protocol engine."""
+
+    def __init__(self, manager: "SwiShmemManager") -> None:
+        self.manager = manager
+        self.switch = manager.switch
+        self.sim = manager.sim
+        self.groups: Dict[int, SroGroupState] = {}
+        self._outstanding: Dict[WriteToken, _OutstandingWrite] = {}
+        self.write_timeout = DEFAULT_WRITE_TIMEOUT
+        # Data-plane write-buffering state and accounting (section 9).
+        self._dp_holds: Dict[WriteToken, _DataplaneHold] = {}
+        self.dp_holds_created = 0
+        self.dp_recirculations = 0
+        self.dp_resends = 0
+        self.dp_drops = 0
+
+    # ------------------------------------------------------------------
+    # Group lifecycle
+    # ------------------------------------------------------------------
+    def add_group(self, spec: RegisterSpec, chain: ChainDescriptor) -> SroGroupState:
+        state = SroGroupState(spec, self.switch.memory, chain)
+        self.groups[spec.group_id] = state
+        return state
+
+    def set_chain(self, group_id: int, chain: ChainDescriptor) -> None:
+        """Install a new chain descriptor (controller reconfiguration)."""
+        state = self.groups[group_id]
+        if chain.version >= state.chain.version:
+            state.chain = chain
+
+    def set_catching_up(self, group_id: int, value: bool) -> None:
+        self.groups[group_id].catching_up = value
+
+    # ------------------------------------------------------------------
+    # Read path (paper 6.1 "Reads")
+    # ------------------------------------------------------------------
+    def read(self, spec: RegisterSpec, key: Any, default: Any, packet: Optional[Packet]) -> Any:
+        state = self.groups[spec.group_id]
+        at_tail = (
+            packet is not None
+            and spec.group_id in packet.meta.get("at_tail_groups", ())
+        )
+        if self.switch.name == state.chain.read_tail or at_tail:
+            state.stats.tail_reads += 1
+            return state.store.get(key, default if default is not None else spec.default)
+        if state.track_pending:
+            slot = state.pending.slot_of(key)
+            if state.pending.is_pending(slot):
+                if packet is None:
+                    # Control-plane read with a write in flight: serve the
+                    # local copy (peek semantics); only data-plane reads
+                    # forward packets.
+                    state.stats.local_reads += 1
+                    return state.store.get(key, default if default is not None else spec.default)
+                state.stats.forwarded_reads += 1
+                self._forward_read(state, packet)
+                raise ReadForwarded(spec.group_id, key, state.chain.read_tail)
+        state.stats.local_reads += 1
+        return state.store.get(key, default if default is not None else spec.default)
+
+    def _forward_read(self, state: SroGroupState, packet: Packet) -> None:
+        """Encapsulate the input packet toward the read tail (CRAQ read)."""
+        packet.swishmem = SwiShmemHeader(
+            op=SwiShmemOp.READ_FORWARD,
+            register_group=state.spec.group_id,
+            dst_node=state.chain.read_tail,
+        )
+        packet.swishmem_payload = None
+        self.switch.forward_to_node(packet, state.chain.read_tail)
+
+    def handle_read_forward(self, packet: Packet, group_id: int) -> bool:
+        """At the read tail: decapsulate and let the NF re-process locally.
+
+        Returns False so the switch continues to the NF handlers — with
+        the packet marked so this group's reads are served locally.
+        """
+        state = self.groups.get(group_id)
+        if state is None:
+            return True  # not replicated here (misrouted); drop
+        if self.switch.name != state.chain.read_tail:
+            # Chain moved under the packet; chase the current tail.
+            packet.swishmem.dst_node = state.chain.read_tail
+            self.switch.forward_to_node(packet, state.chain.read_tail)
+            return True
+        packet.swishmem = None
+        packet.meta.setdefault("at_tail_groups", set()).add(group_id)
+        return False
+
+    # ------------------------------------------------------------------
+    # Write path, writer side (paper 6.1 "Writes")
+    # ------------------------------------------------------------------
+    def _build_request(self, spec: RegisterSpec, key: Any, value: Any) -> WriteRequest:
+        """Build a request, translating FetchAdd markers into RMW requests."""
+        from repro.core.registers import FetchAdd
+
+        rmw_delta = value.amount if isinstance(value, FetchAdd) else None
+        return WriteRequest(
+            group=spec.group_id,
+            key=key,
+            value=None if rmw_delta is not None else value,
+            token=WriteToken.fresh(self.switch.name),
+            key_bytes=spec.key_bytes,
+            value_bytes=spec.value_bytes,
+            rmw_delta=rmw_delta,
+        )
+
+    def initiate_writes(
+        self,
+        writes: List[Tuple[RegisterSpec, Any, Any]],
+        output_packet: Optional[Packet],
+        output_dst: Optional[str],
+        on_release=None,
+    ) -> None:
+        """Punt P' and the write set Q to the control plane.
+
+        ``writes`` is [(spec, key, value)].  The output packet (if any)
+        is buffered until every write in the set commits.
+
+        Groups declared with ``dataplane_write_buffering`` take the
+        recirculation path instead (no CPU); a mixed write set falls
+        back to the conservative control-plane path for everything.
+        """
+        if not writes:
+            return
+        if all(spec.dataplane_write_buffering for spec, _, _ in writes):
+            self._initiate_dataplane(writes, output_packet, output_dst, on_release)
+            return
+        barrier_token = WriteToken.fresh(self.switch.name)
+        barrier = _PacketBarrier(
+            barrier_token, remaining=len(writes), on_release=on_release
+        )
+        if output_packet is not None and output_dst is not None:
+            self.switch.control.buffer_packet(barrier_token, output_packet, output_dst)
+        else:
+            barrier.token = None  # nothing to release
+        for spec, key, value in writes:
+            state = self.groups[spec.group_id]
+            state.stats.writes_initiated += 1
+            request = self._build_request(spec, key, value)
+            outstanding = _OutstandingWrite(
+                request=request, started_at=self.sim.now, barrier=barrier
+            )
+            self._outstanding[request.token] = outstanding
+            self.manager.on_write_initiated(spec, key, value, request.token)
+            # The punt itself costs one control-plane op.
+            self.switch.control.submit(
+                self._send_write_request, request.token, label="sro-write-send"
+            )
+
+    # ------------------------------------------------------------------
+    # Data-plane write buffering (section 9 open question, realized)
+    # ------------------------------------------------------------------
+    def _initiate_dataplane(
+        self,
+        writes: List[Tuple[RegisterSpec, Any, Any]],
+        output_packet: Optional[Packet],
+        output_dst: Optional[str],
+        on_release=None,
+    ) -> None:
+        barrier_token = WriteToken.fresh(self.switch.name)
+        barrier = _PacketBarrier(
+            barrier_token, remaining=len(writes), on_release=on_release
+        )
+        write_tokens: List[WriteToken] = []
+        for spec, key, value in writes:
+            state = self.groups[spec.group_id]
+            state.stats.writes_initiated += 1
+            request = self._build_request(spec, key, value)
+            outstanding = _OutstandingWrite(
+                request=request, started_at=self.sim.now, barrier=barrier
+            )
+            self._outstanding[request.token] = outstanding
+            write_tokens.append(request.token)
+            self.manager.on_write_initiated(spec, key, value, request.token)
+            self._dp_send_request(request)
+        # A hold always exists: it is both the output buffer *and* the
+        # data-plane retransmission timer.  Writes with no output packet
+        # (control-plane-originated) recirculate a generated marker
+        # packet instead, discarded at release.
+        hold = _DataplaneHold(
+            token=barrier_token,
+            packet=output_packet,
+            dst_node=output_dst if output_packet is not None else None,
+            write_tokens=write_tokens,
+            started_at=self.sim.now,
+        )
+        self._dp_holds[barrier_token] = hold
+        self.dp_holds_created += 1
+        self.sim.schedule(
+            RECIRCULATION_LATENCY, self._dp_tick, barrier_token, label="sro-dp-hold"
+        )
+
+    def _dp_send_request(self, request: WriteRequest) -> None:
+        """Emit a write request from the data plane — no CPU involved."""
+        state = self.groups.get(request.group)
+        if state is None or self.switch.failed:
+            return
+        head = state.chain.head
+        if head == self.switch.name:
+            self.sim.call_soon(self._receive_write_request, request, label="sro-dp-self-head")
+            return
+        packet = Packet(
+            swishmem=SwiShmemHeader(
+                op=SwiShmemOp.WRITE_REQUEST, register_group=request.group, dst_node=head
+            ),
+            swishmem_payload=request,
+        )
+        self.switch.forward_to_node(packet, head)
+
+    def _dp_tick(self, token: WriteToken) -> None:
+        """One recirculation pass of a held output packet."""
+        hold = self._dp_holds.get(token)
+        if hold is None:
+            return  # released by the ack
+        if self.switch.failed:
+            self._dp_holds.pop(token, None)
+            return
+        hold.recirculations += 1
+        self.dp_recirculations += 1
+        self.switch.stats.recirculated_packets += 1
+        if hold.recirculations % DP_RESEND_EVERY == 0:
+            hold.resends += 1
+            self.dp_resends += 1
+            if hold.resends > DP_MAX_RESENDS:
+                self._dp_give_up(hold)
+                return
+            for write_token in hold.write_tokens:
+                outstanding = self._outstanding.get(write_token)
+                if outstanding is not None:
+                    state = self.groups[outstanding.request.group]
+                    state.stats.retries += 1
+                    self._dp_send_request(outstanding.request)
+        self.sim.schedule(RECIRCULATION_LATENCY, self._dp_tick, token, label="sro-dp-hold")
+
+    def _dp_give_up(self, hold: _DataplaneHold) -> None:
+        self._dp_holds.pop(hold.token, None)
+        self.dp_drops += 1
+        for write_token in hold.write_tokens:
+            outstanding = self._outstanding.pop(write_token, None)
+            if outstanding is not None:
+                state = self.groups[outstanding.request.group]
+                state.stats.writes_failed += 1
+        if hold.packet is not None:
+            self.switch.drop(hold.packet, reason="dp-write-giveup")
+
+    def _send_write_request(self, token: WriteToken) -> None:
+        outstanding = self._outstanding.get(token)
+        if outstanding is None:
+            return  # already committed
+        request = outstanding.request
+        state = self.groups[request.group]
+        outstanding.attempts += 1
+        request.attempt = outstanding.attempts - 1
+        if outstanding.attempts > MAX_WRITE_ATTEMPTS:
+            self._give_up(outstanding)
+            return
+        head = state.chain.head
+        packet = Packet(
+            swishmem=SwiShmemHeader(
+                op=SwiShmemOp.WRITE_REQUEST, register_group=request.group, dst_node=head
+            ),
+            swishmem_payload=request,
+        )
+        if head == self.switch.name:
+            # We are the head: hand the request to our own data plane.
+            self.sim.call_soon(self._receive_write_request, request, label="sro-self-head")
+        else:
+            self.switch.inject_from_cpu(packet, head)
+        timeout = min(
+            MAX_WRITE_TIMEOUT, self.write_timeout * (2 ** (outstanding.attempts - 1))
+        )
+        outstanding.timer = self.switch.control.set_timer(
+            timeout, self._retry, token, label="sro-retry"
+        )
+
+    def _retry(self, token: WriteToken) -> None:
+        outstanding = self._outstanding.get(token)
+        if outstanding is None:
+            return
+        state = self.groups[outstanding.request.group]
+        state.stats.retries += 1
+        self._send_write_request(token)
+
+    def _give_up(self, outstanding: _OutstandingWrite) -> None:
+        request = outstanding.request
+        state = self.groups[request.group]
+        state.stats.writes_failed += 1
+        self._outstanding.pop(request.token, None)
+        if outstanding.timer is not None:
+            outstanding.timer.cancel()
+        barrier = outstanding.barrier
+        if barrier is not None and barrier.token is not None:
+            self.switch.control.drop_buffered(barrier.token)
+
+    # ------------------------------------------------------------------
+    # Write path, chain side
+    # ------------------------------------------------------------------
+    def _receive_write_request(self, request: WriteRequest) -> None:
+        """Head duty: sequence (or re-propagate) and start propagation."""
+        state = self.groups.get(request.group)
+        if state is None:
+            return
+        if state.chain.head != self.switch.name:
+            # We are no longer head (reconfiguration raced the request);
+            # drop it — the writer's retry will target the new head.
+            return
+        remembered = state.dedup.get(request.token)
+        if remembered is not None:
+            seq, slot, value = remembered
+        else:
+            slot = state.pending.slot_of(request.key)
+            seq = state.pending.assign_seq(slot)
+            if request.rmw_delta is not None:
+                # linearizable fetch-add: the head is the serialization
+                # point, so reading its local copy here is correct
+                current = state.store.get(request.key)
+                value = (current if current is not None else 0) + request.rmw_delta
+            else:
+                value = request.value
+            state.remember_token(request.token, seq, slot, value)
+        update = ChainUpdate(
+            group=request.group,
+            key=request.key,
+            value=value,
+            seq=seq,
+            slot=slot,
+            token=request.token,
+            chain=tuple(state.chain.members),
+            key_bytes=request.key_bytes,
+            value_bytes=request.value_bytes,
+        )
+        self._process_chain_update(update)
+
+    def handle_chain_update(self, update: ChainUpdate) -> None:
+        """A ChainUpdate packet arrived from the network."""
+        state = self.groups.get(update.group)
+        if state is None:
+            return
+        if state.spec.control_plane_state:
+            # P4 tables are control-plane-writable only: the apply and
+            # forward pass through this switch's CPU (paper 6.1).
+            self.switch.control.submit(
+                self._process_chain_update, update, label="sro-cp-apply"
+            )
+        else:
+            self._process_chain_update(update)
+
+    def _process_chain_update(self, update: ChainUpdate) -> None:
+        state = self.groups.get(update.group)
+        if state is None or self.switch.failed:
+            return
+        stats = state.stats
+        stats.chain_updates_seen += 1
+        slot = update.slot
+        applied = state.pending.applied_seq(slot)
+        is_tail = update.chain and update.chain[-1] == self.switch.name
+        if update.seq <= applied:
+            # Duplicate of something we already applied: do not re-apply,
+            # but keep it flowing so downstream members converge.
+            stats.duplicate_updates += 1
+        elif state.pending.is_next_in_order(slot, update.seq):
+            state.store[update.key] = update.value
+            state.pending.mark_applied(slot, update.seq)
+            if state.track_pending and not is_tail:
+                state.pending.set_pending(slot, update.seq)
+        elif state.catching_up:
+            # Recovery: gaps are covered by the snapshot replay, so the
+            # catching-up switch applies out-of-order (paper 6.3).
+            state.store[update.key] = update.value
+            state.pending.force_applied(slot, update.seq)
+        else:
+            # A gap: a predecessor's update was lost.  Drop; the writer's
+            # control-plane retry re-propagates in order.
+            stats.out_of_order_drops += 1
+            return
+        successor = update.next_hop_after(self.switch.name)
+        if successor is not None:
+            packet = Packet(
+                swishmem=SwiShmemHeader(
+                    op=SwiShmemOp.CHAIN_UPDATE,
+                    register_group=update.group,
+                    dst_node=successor,
+                ),
+                swishmem_payload=update,
+            )
+            self.switch.forward_to_node(packet, successor)
+        elif is_tail:
+            self._emit_acks(state, update)
+
+    def _emit_acks(self, state: SroGroupState, update: ChainUpdate) -> None:
+        """Tail duty: acknowledge to the writer and the other members."""
+        ack = WriteAck(
+            group=update.group,
+            key=update.key,
+            seq=update.seq,
+            slot=update.slot,
+            token=update.token,
+            key_bytes=update.key_bytes,
+            value=update.value,
+            value_bytes=update.value_bytes,
+        )
+        targets = set(update.chain) | {update.token.writer}
+        targets.discard(self.switch.name)
+        for target in sorted(targets):
+            packet = Packet(
+                swishmem=SwiShmemHeader(
+                    op=SwiShmemOp.WRITE_ACK, register_group=update.group, dst_node=target
+                ),
+                swishmem_payload=ack,
+            )
+            self.switch.forward_to_node(packet, target)
+        # The tail itself may also be the writer.
+        self.handle_write_ack(ack)
+
+    def handle_write_ack(self, ack: WriteAck) -> None:
+        """Data-plane ack processing: clear pending, release the writer."""
+        state = self.groups.get(ack.group)
+        if state is None:
+            return
+        state.stats.acks_seen += 1
+        if state.track_pending:
+            state.pending.clear_pending(ack.slot, ack.seq)
+        outstanding = self._outstanding.pop(ack.token, None)
+        if outstanding is None:
+            return
+        if outstanding.timer is not None:
+            outstanding.timer.cancel()
+        state.stats.writes_committed += 1
+        state.stats.record_write_latency(self.sim.now - outstanding.started_at)
+        self.manager.on_write_committed(state.spec, outstanding.request.key, ack)
+        barrier = outstanding.barrier
+        if barrier is None:
+            return
+        barrier.results[ack.key] = ack.value
+        barrier.remaining -= 1
+        if barrier.remaining == 0 and barrier.token is not None:
+            hold = self._dp_holds.pop(barrier.token, None)
+            if hold is not None:
+                # data-plane release: the recirculating packet exits the
+                # pipeline toward its destination (marker packets for
+                # output-less writes simply vanish), no CPU touch
+                if hold.packet is not None and hold.dst_node is not None:
+                    if barrier.on_release is not None:
+                        barrier.on_release(hold.packet, barrier.results)
+                    self.switch.forward_to_node(hold.packet, hold.dst_node)
+            else:
+                if barrier.on_release is not None:
+                    buffered = self.switch.control.peek_buffered(barrier.token)
+                    if buffered is not None:
+                        barrier.on_release(buffered, barrier.results)
+                self.switch.control.release_packet(barrier.token)
+
+    # ------------------------------------------------------------------
+    # Recovery hooks (used by repro.protocols.failover)
+    # ------------------------------------------------------------------
+    def snapshot(self, group_id: int) -> List[Tuple[Any, Any, int, int]]:
+        """Control-plane snapshot: [(key, value, slot, seq_at_snapshot)].
+
+        Carries each key's slot sequence at snapshot time so replayed
+        writes cannot overwrite newer values (paper 6.3).
+        """
+        state = self.groups[group_id]
+        entries = []
+        for key in sorted(state.store, key=repr):
+            slot = state.pending.slot_of(key)
+            entries.append((key, state.store[key], slot, state.pending.applied_seq(slot)))
+        return entries
+
+    def apply_snapshot_write(self, key: Any, value: Any, slot: int, seq: int, group_id: int) -> bool:
+        """Apply one replayed snapshot entry under the seq guard."""
+        state = self.groups.get(group_id)
+        if state is None:
+            return False
+        if seq >= state.pending.applied_seq(slot):
+            state.store[key] = value
+            state.pending.force_applied(slot, seq)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def stats_for(self, group_id: int) -> SroStats:
+        return self.groups[group_id].stats

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: clock, scheduler, RNG streams, tracing."""
+
+from repro.sim.engine import Event, Process, SimulationError, Simulator, format_time
+from repro.sim.random import SeededRng, derive_seed
+from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "format_time",
+    "SeededRng",
+    "derive_seed",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

@@ -1,0 +1,296 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — links, switches, control planes,
+replication protocols, traffic generators — runs on top of this kernel.
+The kernel owns a single virtual clock (in seconds, as a float) and a
+priority queue of pending events.  An *event* is a plain callback scheduled
+for some future simulation time.
+
+Two properties matter for faithfulness to the paper:
+
+* **Determinism.**  Given the same seed and the same schedule of calls,
+  a simulation always produces the same history.  Ties in event time are
+  broken by a monotonically increasing sequence number, so insertion order
+  is preserved and no wall-clock nondeterminism can leak in.
+
+* **Atomic processing** (paper section 2).  A PISA switch processes each
+  packet atomically: all register updates made while handling one packet
+  are visible to the next packet as a unit.  In this kernel that property
+  falls out naturally — one event runs to completion before the next
+  begins — but switch code additionally asserts that it never yields
+  mid-packet (see ``repro.switch.pisa``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    has already been stopped, or cancelling an event twice.
+    """
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry: orders by (time, sequence)."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` so callers can cancel a pending
+    event (e.g. a retransmission timer that is no longer needed).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Cancel this event; it will be skipped when its time arrives.
+
+        Cancelling an event that already fired is a no-op rather than an
+        error, because timers routinely race with the work they guard.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} {self.label or self.callback!r} {state}>"
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    The clock unit is seconds.  All component delays in the reproduction
+    (link latency, pipeline service time, control-plane processing) are
+    expressed in seconds so that bandwidth and rate arithmetic stays in
+    SI units.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite.  Returns the
+        :class:`Event`, which may be cancelled until it fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        event = Event(self._now + delay, callback, args, label=label)
+        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        return self.schedule(time - self._now, callback, *args, label=label)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any, label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule(0.0, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or stopped.
+
+        Returns the simulation time at which execution stopped.  If
+        ``until`` is given, the clock is advanced to exactly ``until``
+        even when the queue drains earlier, so periodic measurements can
+        rely on a full window having elapsed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.event.time
+            entry.event.callback(*entry.event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop a running simulation after the current event completes."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for entry in self._queue if not entry.event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        for entry in sorted(self._queue):
+            if not entry.event.cancelled:
+                return entry.time
+        return None
+
+
+class Process:
+    """A named periodic activity pinned to a simulator.
+
+    Many components in the reproduction are periodic: the EWO
+    packet-generator sync (paper section 6.2), controller heartbeats
+    (section 6.3), rate-limiter window resets (section 4.2).  ``Process``
+    wraps the schedule/reschedule dance and supports clean teardown, which
+    matters for fault injection (a dead switch must stop synchronizing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        body: Callable[[], None],
+        name: str = "process",
+        jitter: Callable[[], float] = None,
+        start_after: float = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"process period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.body = body
+        self.name = name
+        self.jitter = jitter
+        self._event: Optional[Event] = None
+        self._alive = False
+        self._ticks = 0
+        first_delay = period if start_after is None else start_after
+        self._first_delay = first_delay
+
+    @property
+    def ticks(self) -> int:
+        """How many times the body has run."""
+        return self._ticks
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def start(self) -> "Process":
+        if self._alive:
+            return self
+        self._alive = True
+        self._event = self.sim.schedule(self._first_delay, self._tick, label=self.name)
+        return self
+
+    def stop(self) -> None:
+        self._alive = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._alive:
+            return
+        self._ticks += 1
+        self.body()
+        if not self._alive:  # body may have stopped us
+            return
+        delay = self.period
+        if self.jitter is not None:
+            delay = max(0.0, delay + self.jitter())
+        self._event = self.sim.schedule(delay, self._tick, label=self.name)
+
+
+def format_time(t: float) -> str:
+    """Human-readable simulation timestamp (microsecond precision)."""
+    return f"{t * 1e6:,.3f}us"

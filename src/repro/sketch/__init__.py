@@ -1,0 +1,18 @@
+"""Approximate data structures: count-min sketch, Bloom filter, heavy hitters."""
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch, row_hash
+from repro.sketch.heavyhitter import (
+    HeavyHitterTracker,
+    empirical_entropy,
+    normalized_entropy,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "row_hash",
+    "HeavyHitterTracker",
+    "empirical_entropy",
+    "normalized_entropy",
+]

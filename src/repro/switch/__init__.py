@@ -1,0 +1,32 @@
+"""PISA switch substrate: pipeline, stateful objects, control plane, memory."""
+
+from repro.switch.control import ControlPlaneAgent, DEFAULT_OP_LATENCY
+from repro.switch.memory import (
+    DEFAULT_SWITCH_MEMORY_BYTES,
+    MemoryBudget,
+    OutOfSwitchMemory,
+)
+from repro.switch.objects import Counter, MatchTable, Meter, MeterColor, RegisterArray
+from repro.switch.pipeline import Pipeline, Stage, StageAction
+from repro.switch.pisa import PIPELINE_LATENCY, PisaSwitch, SwitchStats
+from repro.switch.pktgen import PacketGenerator
+
+__all__ = [
+    "ControlPlaneAgent",
+    "DEFAULT_OP_LATENCY",
+    "DEFAULT_SWITCH_MEMORY_BYTES",
+    "MemoryBudget",
+    "OutOfSwitchMemory",
+    "Counter",
+    "MatchTable",
+    "Meter",
+    "MeterColor",
+    "RegisterArray",
+    "Pipeline",
+    "Stage",
+    "StageAction",
+    "PIPELINE_LATENCY",
+    "PisaSwitch",
+    "SwitchStats",
+    "PacketGenerator",
+]

@@ -1,0 +1,240 @@
+"""P4 stateful objects: register arrays, match tables, meters, counters.
+
+These are the "high-level objects that consume switch memory" of paper
+section 2, with the access-plane rules the paper calls out:
+
+* **Registers, meters, counters** can be read *and written* from the
+  data plane.
+* **Tables** can be matched from the data plane but only *written from
+  the control plane* — the property Observation 1 (section 4.1) leans
+  on: read-intensive NFs already pay a control-plane round trip per
+  update, so SRO's control-plane write path adds little.
+
+Every object charges its footprint to the switch's
+:class:`~repro.switch.memory.MemoryBudget` on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.switch.memory import MemoryBudget
+
+__all__ = ["RegisterArray", "MatchTable", "Meter", "MeterColor", "Counter"]
+
+V = TypeVar("V")
+
+
+class RegisterArray(Generic[V]):
+    """A fixed-size array of registers, indexed by integer.
+
+    ``width_bytes`` is the per-entry wire width used for memory
+    accounting and for sizing replication messages.  Values themselves
+    are arbitrary Python objects (ints for counters, tuples for
+    versioned cells); the width is the *declared* P4 width.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        width_bytes: int,
+        budget: MemoryBudget,
+        initial: V = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"register array size must be positive, got {size}")
+        if width_bytes <= 0:
+            raise ValueError(f"register width must be positive, got {width_bytes}")
+        self.name = name
+        self.size = size
+        self.width_bytes = width_bytes
+        budget.allocate(f"register:{name}", size * width_bytes)
+        self._cells: List[V] = [initial] * size
+        self.read_count = 0
+        self.write_count = 0
+
+    def read(self, index: int) -> V:
+        self._check(index)
+        self.read_count += 1
+        return self._cells[index]
+
+    def write(self, index: int, value: V) -> None:
+        self._check(index)
+        self.write_count += 1
+        self._cells[index] = value
+
+    def update(self, index: int, fn: Callable[[V], V]) -> V:
+        """Read-modify-write in one atomic pipeline pass (paper section 2)."""
+        self._check(index)
+        self.read_count += 1
+        self.write_count += 1
+        new_value = fn(self._cells[index])
+        self._cells[index] = new_value
+        return new_value
+
+    def snapshot(self) -> List[V]:
+        """A copy of all cells (control-plane snapshot for recovery)."""
+        return list(self._cells)
+
+    def fill(self, value: V) -> None:
+        self._cells = [value] * self.size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register {self.name}[{index}] out of range [0,{self.size})")
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class MatchTable:
+    """An exact-match table: data-plane match, control-plane write.
+
+    ``miss`` is returned on lookup misses.  The table enforces a maximum
+    entry count (sized at allocation) — insertion beyond capacity raises,
+    mirroring hardware table exhaustion.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_entries: int,
+        key_bytes: int,
+        value_bytes: int,
+        budget: MemoryBudget,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("table capacity must be positive")
+        self.name = name
+        self.max_entries = max_entries
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+        budget.allocate(f"table:{name}", max_entries * (key_bytes + value_bytes))
+        self._entries: Dict[Hashable, Any] = {}
+        self.lookup_count = 0
+        self.hit_count = 0
+        self.insert_count = 0
+
+    def lookup(self, key: Hashable, miss: Any = None) -> Any:
+        """Data-plane match."""
+        self.lookup_count += 1
+        if key in self._entries:
+            self.hit_count += 1
+            return self._entries[key]
+        return miss
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Control-plane write.  Raises when the table is full."""
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            raise OverflowError(f"table {self.name} is full ({self.max_entries} entries)")
+        self.insert_count += 1
+        self._entries[key] = value
+
+    def remove(self, key: Hashable) -> bool:
+        """Control-plane delete; returns whether the key existed."""
+        return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def entries(self) -> Iterator[Tuple[Hashable, Any]]:
+        return iter(sorted(self._entries.items(), key=lambda kv: repr(kv[0])))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._entries) / self.max_entries
+
+
+_MISSING = object()
+
+
+class MeterColor:
+    """Two-color meter result."""
+
+    GREEN = "green"
+    RED = "red"
+
+
+class Meter:
+    """A per-index token-bucket rate meter (the rate-limiter substrate).
+
+    Each index has its own bucket with rate ``rate_bps`` and burst
+    ``burst_bytes``.  ``execute`` consumes tokens for a packet and
+    returns GREEN (conforming) or RED (exceeding), the standard P4
+    two-color meter behavior.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        budget: MemoryBudget,
+        rate_bps: float = 1e9,
+        burst_bytes: int = 64 * 1024,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("meter size must be positive")
+        if rate_bps <= 0:
+            raise ValueError("meter rate must be positive")
+        self.name = name
+        self.size = size
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        # 16 bytes/entry: tokens (8) + last-update timestamp (8)
+        budget.allocate(f"meter:{name}", size * 16)
+        self._tokens: List[float] = [float(burst_bytes)] * size
+        self._last: List[float] = [0.0] * size
+
+    def execute(self, index: int, nbytes: int, now: float) -> str:
+        if not 0 <= index < self.size:
+            raise IndexError(f"meter {self.name}[{index}] out of range")
+        elapsed = max(0.0, now - self._last[index])
+        self._last[index] = now
+        refill = elapsed * self.rate_bps / 8.0
+        self._tokens[index] = min(float(self.burst_bytes), self._tokens[index] + refill)
+        if self._tokens[index] >= nbytes:
+            self._tokens[index] -= nbytes
+            return MeterColor.GREEN
+        return MeterColor.RED
+
+    def tokens(self, index: int) -> float:
+        return self._tokens[index]
+
+
+class Counter:
+    """A packet-and-byte counter array (data-plane writable)."""
+
+    def __init__(self, name: str, size: int, budget: MemoryBudget) -> None:
+        if size <= 0:
+            raise ValueError("counter size must be positive")
+        self.name = name
+        self.size = size
+        # 16 bytes/entry: packets (8) + bytes (8)
+        budget.allocate(f"counter:{name}", size * 16)
+        self._packets: List[int] = [0] * size
+        self._bytes: List[int] = [0] * size
+
+    def count(self, index: int, nbytes: int = 0) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"counter {self.name}[{index}] out of range")
+        self._packets[index] += 1
+        self._bytes[index] += nbytes
+
+    def packets(self, index: int) -> int:
+        return self._packets[index]
+
+    def bytes(self, index: int) -> int:
+        return self._bytes[index]
+
+    def reset(self, index: Optional[int] = None) -> None:
+        """Control-plane reset of one index or the whole array."""
+        if index is None:
+            self._packets = [0] * self.size
+            self._bytes = [0] * self.size
+        else:
+            self._packets[index] = 0
+            self._bytes[index] = 0

@@ -1,0 +1,333 @@
+"""The PISA switch model.
+
+A :class:`PisaSwitch` is a :class:`~repro.net.link.Node` that processes
+packets through a parser -> match-action pipeline -> deparser flow
+(paper section 2), with these modeled hardware features:
+
+* **Atomic per-packet processing** — one packet's pipeline pass runs as
+  a single simulator event; no other packet observes intermediate state
+  on the same switch.  A re-entrancy guard enforces this.
+* **Handlers** — programs (SwiShmem protocol engines, NFs) install
+  packet handlers consulted in order; the first handler that consumes a
+  packet terminates processing.  Unconsumed packets fall through to
+  plain L3 forwarding.
+* **Pipeline service rate** — an optional packets-per-second capacity;
+  when set, arrivals queue FIFO and the capacity benchmark (experiment
+  C1) can compare switch and server service rates.
+* **Egress mirroring, multicast, recirculation, packet generator** —
+  the features paper section 7 uses to implement EWO.
+* **A control plane** (:class:`~repro.switch.control.ControlPlaneAgent`)
+  with DRAM buffering and timers, used by SRO.
+
+Handlers receive ``(packet, from_node)`` and return True when they
+consumed the packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.net.endhost import AddressBook
+from repro.net.link import Node
+from repro.net.multicast import MulticastRegistry
+from repro.net.packet import Packet
+from repro.net.routing import RoutingTable
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.switch.control import ControlPlaneAgent, DEFAULT_OP_LATENCY
+from repro.switch.memory import DEFAULT_SWITCH_MEMORY_BYTES, MemoryBudget
+
+__all__ = ["PisaSwitch", "SwitchStats", "PacketHandler"]
+
+PacketHandler = Callable[[Packet, str], bool]
+
+#: Per-packet pipeline latency: parser + stages + deparser.  Constant and
+#: tiny, as in hardware (the pipeline is a fixed-depth conveyor belt).
+PIPELINE_LATENCY = 400e-9
+
+#: Delay for a recirculated packet to re-enter the parser.
+RECIRCULATION_LATENCY = 800e-9
+
+#: Latency for the control plane to inject a packet into the data plane.
+CPU_INJECT_LATENCY = 5e-6
+
+
+class SwitchStats:
+    """Forwarding-plane counters."""
+
+    __slots__ = (
+        "rx_packets",
+        "tx_packets",
+        "dropped_packets",
+        "punted_packets",
+        "recirculated_packets",
+        "mirrored_packets",
+        "multicast_copies",
+        "generated_packets",
+        "queue_drops",
+    )
+
+    def __init__(self) -> None:
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.dropped_packets = 0
+        self.punted_packets = 0
+        self.recirculated_packets = 0
+        self.mirrored_packets = 0
+        self.multicast_copies = 0
+        self.generated_packets = 0
+        self.queue_drops = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PisaSwitch(Node):
+    """A programmable data-plane switch."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        routing: Optional[RoutingTable] = None,
+        address_book: Optional[AddressBook] = None,
+        multicast: Optional[MulticastRegistry] = None,
+        memory_bytes: int = DEFAULT_SWITCH_MEMORY_BYTES,
+        control_op_latency: float = DEFAULT_OP_LATENCY,
+        pipeline_rate_pps: Optional[float] = None,
+        queue_capacity: int = 1024,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.routing = routing
+        self.address_book = address_book
+        self.multicast = multicast
+        self.memory = MemoryBudget(memory_bytes)
+        self.control = ControlPlaneAgent(self, op_latency=control_op_latency)
+        self.tracer = tracer
+        self.stats = SwitchStats()
+        self._handlers: List[PacketHandler] = []
+        #: Mirror sessions: session id -> destination node name.
+        self._mirror_sessions: Dict[int, str] = {}
+        # Optional finite-capacity service model (experiment C1).
+        self.pipeline_rate_pps = pipeline_rate_pps
+        self.queue_capacity = queue_capacity
+        self._queue: Deque[Tuple[Packet, str]] = deque()
+        self._serving = False
+        # Atomicity guard (paper section 2).
+        self._in_pipeline = False
+
+    # ------------------------------------------------------------------
+    # Program installation
+    # ------------------------------------------------------------------
+    def install_handler(self, handler: PacketHandler, front: bool = False) -> None:
+        """Install a packet handler; ``front=True`` gives it priority.
+
+        Protocol engines (SwiShmem) install at the front so replication
+        traffic never reaches NF code; NFs install at the back.
+        """
+        if front:
+            self._handlers.insert(0, handler)
+        else:
+            self._handlers.append(handler)
+
+    def remove_handler(self, handler: PacketHandler) -> None:
+        self._handlers.remove(handler)
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, from_node: str) -> None:
+        self.stats.rx_packets += 1
+        if self.pipeline_rate_pps is None:
+            self._pipeline_pass(packet, from_node)
+            return
+        # Finite service rate: FIFO queue + serialized service events.
+        if len(self._queue) >= self.queue_capacity:
+            self.stats.queue_drops += 1
+            self.stats.dropped_packets += 1
+            return
+        self._queue.append((packet, from_node))
+        if not self._serving:
+            self._serving = True
+            self.sim.schedule(
+                1.0 / self.pipeline_rate_pps, self._serve_next, label=f"{self.name}:serve"
+            )
+
+    def _serve_next(self) -> None:
+        if self.failed:
+            self._queue.clear()
+            self._serving = False
+            return
+        if not self._queue:
+            self._serving = False
+            return
+        packet, from_node = self._queue.popleft()
+        self._pipeline_pass(packet, from_node)
+        if self._queue:
+            self.sim.schedule(
+                1.0 / self.pipeline_rate_pps, self._serve_next, label=f"{self.name}:serve"
+            )
+        else:
+            self._serving = False
+
+    def _pipeline_pass(self, packet: Packet, from_node: str) -> None:
+        """One atomic parser -> pipeline -> deparser pass."""
+        if self._in_pipeline:
+            raise RuntimeError(
+                f"{self.name}: re-entrant pipeline pass — a handler synchronously "
+                "re-delivered a packet; use recirculate() or the simulator instead"
+            )
+        self._in_pipeline = True
+        try:
+            packet.meta.clear()  # fresh PISA metadata at each switch
+            packet.meta["ingress_node"] = from_node
+            for handler in list(self._handlers):
+                if handler(packet, from_node):
+                    return
+            # Replication packets addressed to another switch are, on the
+            # wire, ordinary IP packets to that switch's loopback: any
+            # switch — including one running no SwiShmem program at all —
+            # forwards them toward their destination.
+            if (
+                packet.swishmem is not None
+                and packet.swishmem.dst_node is not None
+                and packet.swishmem.dst_node != self.name
+            ):
+                self.forward_to_node(packet, packet.swishmem.dst_node)
+                return
+            self.forward_by_ip(packet)
+        finally:
+            self._in_pipeline = False
+
+    # ------------------------------------------------------------------
+    # Egress actions (the API programs use)
+    # ------------------------------------------------------------------
+    def forward_to_node(self, packet: Packet, dst_node: str) -> bool:
+        """Forward toward a node by name (switch-to-switch traffic)."""
+        if dst_node == self.name:
+            # Delivered to ourselves: re-enter the pipeline via recirculation.
+            self.recirculate(packet)
+            return True
+        if self.routing is None:
+            raise RuntimeError(f"{self.name} has no routing table")
+        hop = self.routing.next_hop(self.name, dst_node, packet)
+        if hop is None:
+            self.drop(packet, reason="unreachable")
+            return False
+        sent = self.send(packet, hop) if hop in self.links else self._send_via_routing(packet, hop)
+        if sent:
+            self.stats.tx_packets += 1
+            self.tracer.emit(self.sim.now, "fwd", self.name, "tx", to=hop, pkt=packet.uid)
+        return sent
+
+    def _send_via_routing(self, packet: Packet, hop: str) -> bool:
+        # next_hop always returns a direct neighbor; anything else is a bug.
+        raise RuntimeError(f"{self.name}: next hop {hop} is not a neighbor")
+
+    def forward_by_ip(self, packet: Packet) -> bool:
+        """Default L3 forwarding using the address book + routing."""
+        if packet.ipv4 is None or self.address_book is None:
+            self.drop(packet, reason="no-route")
+            return False
+        dst_node = self.address_book.lookup(packet.ipv4.dst)
+        if dst_node is None:
+            self.drop(packet, reason="unknown-ip")
+            return False
+        packet.ipv4.ttl -= 1
+        if packet.ipv4.ttl <= 0:
+            self.drop(packet, reason="ttl-expired")
+            return False
+        return self.forward_to_node(packet, dst_node)
+
+    def drop(self, packet: Packet, reason: str = "") -> None:
+        self.stats.dropped_packets += 1
+        self.tracer.emit(self.sim.now, "drop", self.name, reason or "drop", pkt=packet.uid)
+
+    def punt_to_cpu(self, packet: Packet, handler: Callable[[Packet], None]) -> None:
+        """Send a packet to the local control plane (paper section 2)."""
+        self.stats.punted_packets += 1
+        self.control.submit(handler, packet, label="punt")
+
+    def recirculate(self, packet: Packet) -> None:
+        """Send a packet back through the pipeline (paper section 2)."""
+        self.stats.recirculated_packets += 1
+        ingress = packet.meta.get("ingress_node", self.name)
+        self.sim.schedule(
+            RECIRCULATION_LATENCY,
+            self._pipeline_pass,
+            packet,
+            ingress,
+            label=f"{self.name}:recirc",
+        )
+
+    def inject_from_cpu(self, packet: Packet, dst_node: str) -> None:
+        """Control plane injects a packet into the data plane for egress."""
+        self.sim.schedule(
+            CPU_INJECT_LATENCY,
+            self._inject,
+            packet,
+            dst_node,
+            label=f"{self.name}:cpu-inject",
+        )
+
+    def _inject(self, packet: Packet, dst_node: str) -> None:
+        if self.failed:
+            return
+        self.forward_to_node(packet, dst_node)
+
+    # ------------------------------------------------------------------
+    # Mirroring and multicast (paper section 7, EWO implementation)
+    # ------------------------------------------------------------------
+    def configure_mirror_session(self, session_id: int, dst_node: str) -> None:
+        self._mirror_sessions[session_id] = dst_node
+
+    def mirror(self, packet: Packet, session_id: int) -> bool:
+        """Egress-mirror a copy of ``packet`` to the session destination."""
+        dst = self._mirror_sessions.get(session_id)
+        if dst is None:
+            return False
+        self.stats.mirrored_packets += 1
+        return self.forward_to_node(packet.clone(), dst)
+
+    def multicast_to_group(self, packet: Packet, group_id: int) -> int:
+        """Replicate ``packet`` to every other member of a multicast group.
+
+        Returns the number of copies sent.  The packet itself is not
+        consumed — EWO sends copies while the original proceeds to its
+        destination.
+        """
+        if self.multicast is None:
+            raise RuntimeError(f"{self.name} has no multicast registry")
+        group = self.multicast.get(group_id)
+        copies = 0
+        for member in group.others(self.name):
+            copy = packet.clone()
+            if copy.swishmem is not None:
+                # The multicast engine stamps each copy's egress
+                # destination, so transit switches forward rather than
+                # consume copies addressed to someone else.
+                copy.swishmem.dst_node = member
+            if self.forward_to_node(copy, member):
+                copies += 1
+                self.stats.multicast_copies += 1
+        return copies
+
+    # ------------------------------------------------------------------
+    # Packet generator (paper section 7: periodic EWO sync)
+    # ------------------------------------------------------------------
+    def generate_packet(self, packet: Packet, dst_node: str) -> bool:
+        """Emit a locally generated packet (packet-generator feature)."""
+        if self.failed:
+            return False
+        self.stats.generated_packets += 1
+        packet.created_at = self.sim.now
+        return self.forward_to_node(packet, dst_node)
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Fail-stop: drop queued work too."""
+        super().fail()
+        self._queue.clear()

@@ -1,0 +1,17 @@
+"""Deterministic traffic generation: flows, Zipf skew, attacks, traces."""
+
+from repro.workload.attack import AttackScenario
+from repro.workload.flows import FlowGenerator, FlowSpec, inject_flow
+from repro.workload.trace import PacketTrace, TraceRecord, generate_trace
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "AttackScenario",
+    "FlowGenerator",
+    "FlowSpec",
+    "inject_flow",
+    "PacketTrace",
+    "TraceRecord",
+    "generate_trace",
+    "ZipfSampler",
+]

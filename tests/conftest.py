@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Most fixtures build small deployments; tests that need special
+parameters (loss, sync periods, pending-slot sharing) construct their
+own via the ``make_deployment`` factory fixture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import pytest
+
+from repro.core.manager import SwiShmemDeployment
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> SeededRng:
+    return SeededRng(seed=1234)
+
+
+@pytest.fixture
+def make_deployment(sim: Simulator, rng: SeededRng) -> Callable:
+    """Factory: build an n-switch full-mesh deployment.
+
+    Returns ``(deployment, topology, switches)``.  Keyword arguments are
+    forwarded to :class:`SwiShmemDeployment`, plus ``loss_rate`` and
+    ``latency`` for the mesh links and ``memory_bytes`` /
+    ``control_op_latency`` for the switches.
+    """
+
+    def build(
+        n: int = 3,
+        loss_rate: float = 0.0,
+        latency: float = 5e-6,
+        memory_bytes: int = 10 * 1024 * 1024,
+        control_op_latency: float = 20e-6,
+        **kwargs,
+    ) -> Tuple[SwiShmemDeployment, Topology, List[PisaSwitch]]:
+        topo = Topology(sim, rng)
+        switches = build_full_mesh(
+            topo,
+            lambda name: PisaSwitch(
+                name,
+                sim,
+                memory_bytes=memory_bytes,
+                control_op_latency=control_op_latency,
+            ),
+            n,
+            loss_rate=loss_rate,
+            latency=latency,
+        )
+        deployment = SwiShmemDeployment(sim, topo, switches, **kwargs)
+        return deployment, topo, switches
+
+    return build
+
+
+@pytest.fixture
+def deployment(make_deployment) -> SwiShmemDeployment:
+    """A plain three-switch deployment with history recording."""
+    dep, _, _ = make_deployment(3, record_history=True)
+    return dep

@@ -1,0 +1,7 @@
+"""Compatibility shim: the NF-cluster world builder moved into the
+library proper (`repro.testing`) so examples and downstream users can
+build realistic deployments without vendoring test helpers."""
+
+from repro.testing import NfWorld, build_nf_world
+
+__all__ = ["NfWorld", "build_nf_world"]

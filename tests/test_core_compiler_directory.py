@@ -1,0 +1,232 @@
+"""Tests for the compiler (distribute + profiler) and directory service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import (
+    AccessProfile,
+    AccessProfiler,
+    SingleSwitchProgram,
+    distribute,
+    recommend_consistency,
+)
+from repro.core.directory import DirectoryService
+from repro.core.manager import Decision
+from repro.core.merge import (
+    is_mergeable,
+    merge_counter_vectors,
+    merge_last_writer_wins,
+    merge_value,
+)
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.crdt.clock import Timestamp
+from repro.crdt.gcounter import GCounter
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch
+
+
+class CountingProgram(SingleSwitchProgram):
+    """A one-big-switch program: count every packet, read a config flag."""
+
+    def registers(self):
+        return [
+            RegisterSpec("hits", Consistency.EWO, ewo_mode=EwoMode.COUNTER),
+            RegisterSpec("config", Consistency.SRO),
+        ]
+
+    def process(self, ctx, handles):
+        handles["hits"].increment("total")
+        handles["config"].read("mode")
+        return Decision.forward()
+
+
+class TestDistribute:
+    def test_program_instantiated_per_switch(self, deployment):
+        adapters = distribute(CountingProgram, deployment)
+        assert len(adapters) == 3
+        programs = {id(a.program) for a in adapters}
+        assert len(programs) == 3  # distinct instances
+
+    def test_registers_shared_across_instances(self, deployment):
+        distribute(CountingProgram, deployment)
+        spec = deployment.spec_by_name("hits")
+        deployment.manager("s0").register_increment(spec, "total", 3)
+        deployment.sim.run(until=0.01)
+        assert all(s["total"] == 3 for s in deployment.ewo_states(spec))
+
+
+class TestAccessProfile:
+    def test_frequency_labels_match_table1_vocabulary(self):
+        every_packet = AccessProfile("sketch", reads=100, writes=100, packets=100)
+        assert every_packet.frequency_label() == ("Every packet", "Every packet")
+        connection_table = AccessProfile("nat", reads=100, writes=5, packets=100)
+        assert connection_table.frequency_label() == ("New connection", "Every packet")
+        idle = AccessProfile("sig", reads=0, writes=0, packets=100)
+        assert idle.frequency_label() == ("Low", "Low")
+
+    def test_rates(self):
+        profile = AccessProfile("x", reads=50, writes=25, packets=100)
+        assert profile.reads_per_packet == 0.5
+        assert profile.writes_per_packet == 0.25
+        assert profile.write_fraction == pytest.approx(1 / 3)
+
+    def test_zero_packets_safe(self):
+        profile = AccessProfile("x")
+        assert profile.reads_per_packet == 0.0 and profile.write_fraction == 0.0
+
+
+class TestRecommendation:
+    def test_write_intensive_goes_ewo(self):
+        profile = AccessProfile("sketch", reads=100, writes=100, packets=100, needs_strong=False)
+        assert recommend_consistency(profile) is Consistency.EWO
+
+    def test_write_intensive_goes_ewo_even_if_strong_desired(self):
+        """Observation 2: strong + frequent writes is not offered; the
+        recommendation follows the paper and picks EWO."""
+        profile = AccessProfile("x", reads=10, writes=100, packets=100, needs_strong=True)
+        assert recommend_consistency(profile) is Consistency.EWO
+
+    def test_read_intensive_strong_goes_sro(self):
+        profile = AccessProfile("nat", reads=100, writes=2, packets=100, needs_strong=True)
+        assert recommend_consistency(profile) is Consistency.SRO
+
+    def test_read_intensive_weak_goes_ero(self):
+        profile = AccessProfile("ips", reads=100, writes=1, packets=100, needs_strong=False)
+        assert recommend_consistency(profile) is Consistency.ERO
+
+
+class TestProfiler:
+    def test_profiles_measure_accesses(self, deployment):
+        spec = deployment.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        profiler = AccessProfiler(deployment)
+        manager = deployment.manager("s0")
+        for _ in range(10):
+            manager.register_increment(spec, "k", 1)
+        for _ in range(5):
+            manager.register_read(spec, "k", None)
+        profiles = profiler.profiles()
+        ctr = next(p for p in profiles if p.group_name == "ctr")
+        assert ctr.writes == 10 and ctr.reads == 5
+
+    def test_begin_resets_baseline(self, deployment):
+        spec = deployment.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        profiler = AccessProfiler(deployment)
+        deployment.manager("s0").register_increment(spec, "k", 1)
+        profiler.begin()
+        profiles = profiler.profiles()
+        assert profiles[0].writes == 0
+
+    def test_needs_strong_override(self, deployment):
+        deployment.declare(RegisterSpec("sig", Consistency.ERO))
+        profiler = AccessProfiler(deployment)
+        profiles = profiler.profiles(needs_strong={"sig": False})
+        assert profiles[0].needs_strong is False
+
+
+class TestMergeHelpers:
+    def test_lww_merge(self):
+        newer = ("new", Timestamp(2.0, 0, 1))
+        older = ("old", Timestamp(1.0, 0, 0))
+        assert merge_last_writer_wins(older, newer)[0] == "new"
+        assert merge_last_writer_wins(newer, older)[0] == "new"
+
+    def test_counter_vector_merge(self):
+        assert merge_counter_vectors([1, 5, 0], [3, 2, 4]) == [3, 5, 4]
+        with pytest.raises(ValueError):
+            merge_counter_vectors([1], [1, 2])
+
+    def test_is_mergeable(self):
+        assert is_mergeable(CountMinSketch())
+        assert is_mergeable(BloomFilter())
+        assert is_mergeable(GCounter(2, 0))
+        assert not is_mergeable(42)
+
+    def test_merge_value_dispatch(self):
+        a, b = CountMinSketch(seed=1), CountMinSketch(seed=1)
+        b.add("x", 3)
+        merge_value(a, b)
+        assert a.estimate("x") == 3
+
+        bloom_a, bloom_b = BloomFilter(seed=1), BloomFilter(seed=1)
+        bloom_b.add("y")
+        merge_value(bloom_a, bloom_b)
+        assert "y" in bloom_a
+
+        counter_a, counter_b = GCounter(2, 0), GCounter(2, 1)
+        counter_b.increment(4)
+        merge_value(counter_a, counter_b)
+        assert counter_a.value() == 4
+
+        with pytest.raises(TypeError):
+            merge_value(1, 2)
+
+
+class TestDirectory:
+    def _directory(self):
+        return DirectoryService(["s0", "s1", "s2", "s3"])
+
+    def test_default_placement_is_everywhere(self):
+        directory = self._directory()
+        assert directory.replicas_of(1, "k") == frozenset({"s0", "s1", "s2", "s3"})
+        assert directory.is_replica(1, "k", "s2")
+
+    def test_explicit_placement(self):
+        directory = self._directory()
+        directory.place(1, "k", ["s0", "s1"])
+        assert directory.replicas_of(1, "k") == frozenset({"s0", "s1"})
+        assert not directory.is_replica(1, "k", "s3")
+
+    def test_placement_validation(self):
+        directory = self._directory()
+        with pytest.raises(ValueError):
+            directory.place(1, "k", ["nope"])
+        with pytest.raises(ValueError):
+            directory.place(1, "k", [])
+        with pytest.raises(ValueError):
+            DirectoryService([])
+
+    def test_migration_records_generations(self):
+        directory = self._directory()
+        directory.place(1, "k", ["s0", "s1"])
+        record = directory.migrate(1, "k", ["s2", "s3"])
+        assert record.before == frozenset({"s0", "s1"})
+        assert record.after == frozenset({"s2", "s3"})
+        assert record.generation == 1
+        assert directory.placement(1, "k").generation == 1
+        assert len(directory.migrations) == 1
+
+    def test_locality_placement(self):
+        directory = self._directory()
+        directory.observe_access(1, "hot", "s0")
+        directory.observe_access(1, "hot", "s1")
+        directory.observe_access(1, "cold", "s3")
+        entries = directory.place_by_locality(1, min_replicas=2)
+        assert directory.replicas_of(1, "hot") == frozenset({"s0", "s1"})
+        # cold was seen by one switch; padded to the fault-tolerance floor
+        cold = directory.replicas_of(1, "cold")
+        assert "s3" in cold and len(cold) == 2
+
+    def test_locality_floor_validation(self):
+        directory = self._directory()
+        with pytest.raises(ValueError):
+            directory.place_by_locality(1, min_replicas=10)
+
+    def test_memory_savings(self):
+        directory = self._directory()
+        directory.place(1, "a", ["s0"])
+        directory.place(1, "b", ["s0", "s1"])
+        full, partial = directory.memory_savings(1, value_bytes=10)
+        assert full == 2 * 4 * 10
+        assert partial == 3 * 10
+
+    def test_replication_fanout(self):
+        directory = self._directory()
+        assert directory.replication_fanout(1, "k", "s0") == 3  # full replication
+        directory.place(1, "k", ["s0", "s2"])
+        assert directory.replication_fanout(1, "k", "s0") == 1
+        assert directory.replication_fanout(1, "k", "s1") == 2  # non-replica writer

@@ -1,0 +1,190 @@
+"""Tests for data-plane write buffering (the section 9 open question)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manager import Decision
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.endhost import AddressBook, EndHost
+from repro.net.packet import make_tcp_packet
+from repro.nf.base import NetworkFunction
+
+
+def declare_dp(deployment, **kwargs):
+    return deployment.declare(
+        RegisterSpec("dpreg", Consistency.SRO, dataplane_write_buffering=True, **kwargs)
+    )
+
+
+class TestSpecValidation:
+    def test_incompatible_with_control_plane_tables(self):
+        with pytest.raises(ValueError):
+            RegisterSpec(
+                "bad",
+                Consistency.SRO,
+                dataplane_write_buffering=True,
+                control_plane_state=True,
+            )
+
+
+class TestDataplaneWritePath:
+    def test_commits_without_cpu(self, make_deployment):
+        dep, _, _ = make_deployment(3)
+        spec = declare_dp(dep)
+        writer = dep.manager("s1")
+        writer.register_write(spec, "k", "v")
+        dep.sim.run(until=0.01)
+        assert writer.sro.stats_for(spec.group_id).writes_committed == 1
+        assert writer.switch.control.ops_executed == 0
+        assert all(s.get("k") == "v" for s in dep.sro_stores(spec))
+
+    def test_faster_than_control_plane_path(self, make_deployment):
+        dep, _, _ = make_deployment(3)
+        dp = declare_dp(dep)
+        cp = dep.declare(RegisterSpec("cpreg", Consistency.SRO))
+        writer = dep.manager("s1")
+        writer.register_write(dp, "k", 1)
+        writer.register_write(cp, "k", 1)
+        dep.sim.run(until=0.05)
+        dp_latency = writer.sro.stats_for(dp.group_id).mean_write_latency
+        cp_latency = writer.sro.stats_for(cp.group_id).mean_write_latency
+        assert dp_latency < cp_latency
+
+    def test_linearizable(self, make_deployment):
+        from repro.analysis.linearizability import check_history
+
+        dep, _, _ = make_deployment(3, record_history=True)
+        spec = declare_dp(dep)
+        for i in range(10):
+            dep.sim.schedule(
+                i * 30e-6,
+                lambda i=i: dep.manager(f"s{i % 3}").register_write(spec, "k", i),
+            )
+        for i in range(20):
+            dep.sim.schedule(
+                7e-6 + i * 17e-6,
+                lambda i=i: dep.manager(f"s{i % 3}").register_read(spec, "k", None),
+            )
+        dep.sim.run(until=0.05)
+        assert check_history(dep.history).ok
+
+
+class _DpWriterNF(NetworkFunction):
+    """Installs a flow record via the data-plane write path."""
+
+    @classmethod
+    def build_specs(cls, **kwargs):
+        return [
+            RegisterSpec(
+                "flows", Consistency.SRO, capacity=128, dataplane_write_buffering=True
+            )
+        ]
+
+    def process(self, ctx):
+        flow = ctx.packet.five_tuple()
+        handle = self.handles["flows"]
+        if flow is not None and handle.read(flow.as_tuple()) is None:
+            handle.write(flow.as_tuple(), True)
+        return Decision.forward()
+
+
+class TestRecirculationHold:
+    def _world(self, make_deployment):
+        dep, topo, switches = make_deployment(3)
+        book = dep.address_book
+        src = topo.add_node(EndHost("src", dep.sim, "10.0.0.1", book))
+        dst = topo.add_node(EndHost("dst", dep.sim, "10.0.0.2", book))
+        topo.connect("src", "s0")
+        topo.connect("dst", "s2")
+        dep.routing.recompute()
+        dep.install_nf(_DpWriterNF)
+        return dep, src, dst
+
+    def test_output_held_by_recirculation_then_released(self, make_deployment):
+        dep, src, dst = self._world(make_deployment)
+        src.inject(make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        dep.sim.run(until=8e-6)
+        # the packet reached s0 and is circling the pipeline, not in DRAM
+        assert dep.manager("s0").switch.control.buffered_count == 0
+        assert len(dep.manager("s0").sro._dp_holds) == 1
+        assert dst.received == []
+        dep.sim.run(until=0.05)
+        assert len(dst.received) == 1
+        assert len(dep.manager("s0").sro._dp_holds) == 0
+        # recirculation passes were charged to the pipeline
+        assert dep.manager("s0").switch.stats.recirculated_packets > 0
+
+    def test_dataplane_resend_recovers_from_loss(self, make_deployment):
+        dep, topo, _ = make_deployment(3, loss_rate=0.35)
+        spec = declare_dp(dep)
+        book = dep.address_book
+        src = topo.add_node(EndHost("src", dep.sim, "10.0.0.1", book))
+        dst = topo.add_node(EndHost("dst", dep.sim, "10.0.0.2", book))
+        topo.connect("src", "s0")
+        topo.connect("dst", "s2")
+        dep.routing.recompute()
+        for i in range(10):
+            dep.sim.schedule(
+                i * 100e-6,
+                lambda i=i: dep.manager("s0").register_write(spec, f"k{i}", i),
+            )
+        dep.sim.run(until=1.0)
+        committed = dep.manager("s0").sro.stats_for(spec.group_id).writes_committed
+        assert committed == 10
+        stores = dep.sro_stores(spec)
+        assert all(store == stores[0] for store in stores)
+
+    def test_hold_dropped_when_chain_unreachable(self, make_deployment):
+        dep, src, dst = self._world(make_deployment)
+        dep.controller.stop()  # never repair the chain
+        for name in ("s1", "s2"):
+            dep.fail_switch(name)
+        src.inject(make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        dep.sim.run(until=15.0)  # DP_MAX_RESENDS x 64 x 800ns ~ 10 s
+        engine = dep.manager("s0").sro
+        assert engine.dp_drops == 1
+        assert len(engine._dp_holds) == 0
+        assert dst.received == []
+
+    def test_dp_hold_retries_through_repaired_chain(self, make_deployment):
+        """Head fails with the write in flight: the data-plane resend
+        targets the repaired chain's new head and still commits."""
+        dep, _, _ = make_deployment(3)
+        spec = declare_dp(dep)
+        writer = dep.manager("s1")
+        # fail the head a moment before the write, so the first request
+        # is lost and the chain is repaired while the hold recirculates
+        dep.controller.note_failure_time("s0")
+        dep.fail_switch("s0")
+        writer.register_write(spec, "k", "v")
+        dep.sim.run(until=0.5)
+        assert dep.chains[spec.group_id].head == "s1"
+        stats = writer.sro.stats_for(spec.group_id)
+        assert stats.writes_committed == 1
+        live_stores = dep.sro_stores(spec)
+        assert all(s.get("k") == "v" for s in live_stores)
+        assert writer.sro.dp_resends > 0  # the data plane retried
+
+    def test_mixed_write_set_falls_back_to_cpu(self, make_deployment):
+        dep, _, _ = make_deployment(2)
+        dp = declare_dp(dep)
+        cp = dep.declare(RegisterSpec("cpreg", Consistency.SRO))
+
+        class MixedNF(NetworkFunction):
+            @classmethod
+            def build_specs(cls, **kwargs):
+                return []
+
+            def process(self, ctx):
+                ctx.write_set.append((dp, "a", 1))
+                ctx.write_set.append((cp, "b", 2))
+                return Decision.drop()
+
+        # write sets are engine-level; drive initiate_writes directly
+        engine = dep.manager("s0").sro
+        engine.initiate_writes([(dp, "a", 1), (cp, "b", 2)], None, None)
+        dep.sim.run(until=0.05)
+        assert engine.stats_for(dp.group_id).writes_committed == 1
+        assert engine.stats_for(cp.group_id).writes_committed == 1
+        assert engine.dp_holds_created == 0  # conservative CPU path used

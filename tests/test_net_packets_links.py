@@ -1,0 +1,206 @@
+"""Tests for packets, headers, links, and loss/bandwidth accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.headers import FiveTuple, PROTO_TCP, PROTO_UDP, SwiShmemHeader, TcpFlags
+from repro.net.link import Link, Node
+from repro.net.packet import Packet, make_tcp_packet, make_udp_packet
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+
+
+class Sink(Node):
+    """Records everything delivered to it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.received = []
+
+    def handle_packet(self, packet, from_node):
+        self.received.append((packet, from_node))
+
+
+class TestFiveTuple:
+    def test_reverse_swaps_endpoints(self):
+        tup = FiveTuple("1.1.1.1", "2.2.2.2", 10, 20, PROTO_TCP)
+        rev = tup.reverse()
+        assert rev.src_ip == "2.2.2.2" and rev.dst_ip == "1.1.1.1"
+        assert rev.src_port == 20 and rev.dst_port == 10
+        assert rev.reverse() == tup
+
+    def test_hashable_and_equal(self):
+        a = FiveTuple("1.1.1.1", "2.2.2.2", 10, 20)
+        b = FiveTuple("1.1.1.1", "2.2.2.2", 10, 20)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_readable(self):
+        assert "tcp" in str(FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, PROTO_TCP))
+        assert "udp" in str(FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, PROTO_UDP))
+
+
+class TestPacket:
+    def test_tcp_packet_wire_size(self):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload_size=100)
+        # Ethernet 14 + IPv4 20 + TCP 20 + payload 100
+        assert packet.wire_size == 154
+
+    def test_udp_packet_wire_size(self):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload_size=100)
+        assert packet.wire_size == 14 + 20 + 8 + 100
+
+    def test_five_tuple_extraction(self):
+        tcp = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 6)
+        assert tcp.five_tuple() == FiveTuple("1.1.1.1", "2.2.2.2", 5, 6, PROTO_TCP)
+        udp = make_udp_packet("1.1.1.1", "2.2.2.2", 5, 6)
+        assert udp.five_tuple().protocol == PROTO_UDP
+        assert Packet().five_tuple() is None
+
+    def test_clone_is_independent(self):
+        original = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        copy = original.clone()
+        assert copy.uid != original.uid
+        copy.ipv4.dst = "9.9.9.9"
+        assert original.ipv4.dst == "2.2.2.2"
+
+    def test_uids_unique(self):
+        packets = [Packet() for _ in range(100)]
+        assert len({p.uid for p in packets}) == 100
+
+    def test_swishmem_header_adds_size(self):
+        bare = Packet()
+        tagged = Packet(swishmem=SwiShmemHeader())
+        assert tagged.wire_size == bare.wire_size + 12
+
+    def test_str_mentions_flow(self):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert "1.1.1.1" in str(packet)
+
+
+class TestLink:
+    def _pair(self, sim, **kwargs):
+        a, b = Sink("a"), Sink("b")
+        link = Link(sim, a, b, rng=SeededRng(1), **kwargs)
+        return a, b, link
+
+    def test_delivery_after_latency_and_serialization(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim, latency=1e-3, bandwidth_bps=8e6)
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload_size=958)
+        # wire 1000 B -> 8000 bits / 8e6 bps = 1 ms serialization + 1 ms prop
+        a.send(packet, "b")
+        sim.run()
+        assert len(b.received) == 1
+        assert sim.now == pytest.approx(2e-3)
+
+    def test_fifo_serialization_queues_back_to_back(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim, latency=0.0, bandwidth_bps=8e6)
+        for _ in range(3):
+            a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload_size=958), "b")
+        sim.run()
+        times = [sim.now]  # final time is the last delivery
+        assert sim.now == pytest.approx(3e-3)
+        assert len(b.received) == 3
+
+    def test_loss_rate_zero_no_drops(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        for _ in range(200):
+            a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+        sim.run()
+        assert len(b.received) == 200
+        assert link.ab.stats.packets_dropped == 0
+
+    def test_loss_rate_drops_fraction(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim, loss_rate=0.3)
+        for _ in range(2000):
+            a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+        sim.run()
+        drop_fraction = link.ab.stats.packets_dropped / 2000
+        assert 0.25 < drop_fraction < 0.35
+        assert len(b.received) == 2000 - link.ab.stats.packets_dropped
+
+    def test_loss_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator()
+            a, b = Sink("a"), Sink("b")
+            Link(sim, a, b, loss_rate=0.5, rng=SeededRng(seed))
+            for _ in range(100):
+                a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+            sim.run()
+            return len(b.received)
+
+        assert run(3) == run(3)
+
+    def test_down_link_drops_everything(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        link.set_up(False)
+        a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+        sim.run()
+        assert b.received == []
+        assert link.ab.stats.packets_dropped == 1
+
+    def test_failed_receiver_drops_silently(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        b.fail()
+        a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+        sim.run()
+        assert b.received == []
+
+    def test_failed_sender_sends_nothing(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        a.fail()
+        assert a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b") is False
+        sim.run()
+        assert b.received == []
+
+    def test_bytes_accounted(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload_size=100)
+        size = packet.wire_size
+        a.send(packet, "b")
+        sim.run()
+        assert link.ab.stats.bytes_sent == size
+        assert link.ba.stats.bytes_sent == 0
+
+    def test_bidirectional(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b")
+        b.send(make_udp_packet("2.2.2.2", "1.1.1.1", 2, 1), "a")
+        sim.run()
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_send_to_unknown_neighbor_raises(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        with pytest.raises(KeyError):
+            a.send(Packet(), "nosuch")
+
+    def test_channel_parameter_validation(self):
+        sim = Simulator()
+        a, b = Sink("a"), Sink("b")
+        with pytest.raises(ValueError):
+            Link(sim, a, b, latency=-1.0)
+        a2, b2 = Sink("a2"), Sink("b2")
+        with pytest.raises(ValueError):
+            Link(sim, a2, b2, bandwidth_bps=0.0)
+        a3, b3 = Sink("a3"), Sink("b3")
+        with pytest.raises(ValueError):
+            Link(sim, a3, b3, loss_rate=1.0)
+
+    def test_other_end_and_channel_from(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        assert link.other_end("a") is b
+        assert link.channel_from("b") is link.ba
+        with pytest.raises(ValueError):
+            link.other_end("zzz")

@@ -1,0 +1,159 @@
+"""Tests for the section 9 directory-service extension wired into EWO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.directory import DirectoryService
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+
+
+def declare_partial(deployment, **kwargs):
+    return deployment.declare(
+        RegisterSpec(
+            "pctr",
+            Consistency.EWO,
+            ewo_mode=EwoMode.COUNTER,
+            partial_replication=True,
+            **kwargs,
+        )
+    )
+
+
+@pytest.fixture
+def world(make_deployment):
+    dep, topo, switches = make_deployment(4, sync_period=1e-3)
+    directory = DirectoryService(dep.switch_names)
+    dep.attach_directory(directory)
+    spec = declare_partial(dep)
+    return dep, directory, spec
+
+
+class TestDirectoryAttachment:
+    def test_unknown_switches_rejected(self, make_deployment):
+        dep, _, _ = make_deployment(2)
+        with pytest.raises(ValueError):
+            dep.attach_directory(DirectoryService(["s0", "zz"]))
+
+    def test_without_directory_partial_spec_broadcasts(self, make_deployment):
+        """partial_replication without a directory degrades gracefully to
+        full broadcast (the base design)."""
+        dep, _, _ = make_deployment(3)
+        spec = declare_partial(dep)
+        dep.manager("s0").register_increment(spec, "k", 1)
+        dep.sim.run(until=0.005)
+        assert all(s.get("k") == 1 for s in dep.ewo_states(spec))
+
+
+class TestPartialUpdates:
+    def test_update_reaches_only_replicas(self, world):
+        dep, directory, spec = world
+        directory.place(spec.group_id, "k", ["s0", "s1"])
+        dep.manager("s0").register_increment(spec, "k", 5)
+        dep.sim.run(until=0.0005)  # broadcast delivered, before any sync
+        assert dep.manager("s1").ewo.local_state(spec.group_id).get("k") == 5
+        assert dep.manager("s2").ewo.local_state(spec.group_id).get("k") is None
+        assert dep.manager("s3").ewo.local_state(spec.group_id).get("k") is None
+
+    def test_unplaced_key_goes_everywhere(self, world):
+        dep, directory, spec = world
+        dep.manager("s0").register_increment(spec, "unplaced", 2)
+        dep.sim.run(until=0.0005)
+        for name in ("s1", "s2", "s3"):
+            assert dep.manager(name).ewo.local_state(spec.group_id)["unplaced"] == 2
+
+    def test_fanout_reduced(self, world):
+        dep, directory, spec = world
+        directory.place(spec.group_id, "local", ["s0", "s1"])
+        stats = dep.manager("s0").ewo.stats_for(spec.group_id)
+        dep.manager("s0").register_increment(spec, "local", 1)
+        assert stats.update_packets_sent == 1  # one target, not three
+
+    def test_sync_respects_placement(self, world):
+        dep, directory, spec = world
+        directory.place(spec.group_id, "k", ["s0", "s1"])
+        dep.manager("s0").register_increment(spec, "k", 7)
+        dep.sim.run(until=0.05)  # many sync rounds
+        # gossip never leaks the key to non-replicas
+        assert dep.manager("s2").ewo.local_state(spec.group_id).get("k") is None
+        assert dep.manager("s3").ewo.local_state(spec.group_id).get("k") is None
+        # while replicas stay converged
+        assert dep.manager("s1").ewo.local_state(spec.group_id)["k"] == 7
+
+    def test_sync_heals_replicas_under_loss(self, make_deployment):
+        dep, _, _ = make_deployment(4, loss_rate=0.5, sync_period=1e-3)
+        directory = DirectoryService(dep.switch_names)
+        dep.attach_directory(directory)
+        spec = declare_partial(dep)
+        directory.place(spec.group_id, "k", ["s0", "s1", "s2"])
+        for _ in range(10):
+            dep.manager("s0").register_increment(spec, "k", 1)
+        dep.sim.run(until=0.5)
+        for name in ("s1", "s2"):
+            assert dep.manager(name).ewo.local_state(spec.group_id).get("k") == 10
+
+    def test_migration_moves_future_updates(self, world):
+        dep, directory, spec = world
+        directory.place(spec.group_id, "k", ["s0", "s1"])
+        dep.manager("s0").register_increment(spec, "k", 1)
+        dep.sim.run(until=0.0005)
+        directory.migrate(spec.group_id, "k", ["s0", "s2"])
+        dep.manager("s0").register_increment(spec, "k", 1)
+        dep.sim.run(until=0.0010)
+        # the new replica received the update (it merges full slot value,
+        # so it catches up to the complete count despite joining late)
+        assert dep.manager("s2").ewo.local_state(spec.group_id).get("k") == 2
+
+    def test_migration_data_movement_via_gossip(self, world):
+        """Migrating a quiescent key still moves its data: any switch
+        holding the key gossips it to the new replica set ('migrating
+        data as needed', section 9, with no extra machinery)."""
+        dep, directory, spec = world
+        directory.place(spec.group_id, "cold", ["s0", "s1"])
+        dep.manager("s0").register_increment(spec, "cold", 9)
+        dep.sim.run(until=0.002)
+        directory.migrate(spec.group_id, "cold", ["s0", "s3"])
+        # no further writes; periodic sync alone must fill s3
+        dep.sim.run(until=0.05)
+        assert dep.manager("s3").ewo.local_state(spec.group_id).get("cold") == 9
+
+    def test_failed_replica_excluded_from_fanout(self, world):
+        dep, directory, spec = world
+        directory.place(spec.group_id, "k", ["s0", "s1", "s2"])
+        dep.controller.note_failure_time("s1")
+        dep.fail_switch("s1")
+        dep.sim.run(until=0.002)  # detector prunes multicast membership
+        stats = dep.manager("s0").ewo.stats_for(spec.group_id)
+        before = stats.update_packets_sent
+        dep.manager("s0").register_increment(spec, "k", 1)
+        assert stats.update_packets_sent == before + 1  # only s2 remains
+
+
+class TestSavingsAccounting:
+    def test_bandwidth_savings_measured(self, make_deployment):
+        """Locality-placed keys cut replication bytes versus broadcast."""
+        def run(partial: bool) -> int:
+            dep, topo, _ = make_deployment(4, sync_period=10.0)
+            spec = dep.declare(
+                RegisterSpec(
+                    f"g{partial}",
+                    Consistency.EWO,
+                    ewo_mode=EwoMode.COUNTER,
+                    partial_replication=partial,
+                )
+            )
+            if partial:
+                directory = DirectoryService(dep.switch_names)
+                dep.attach_directory(directory)
+                for i in range(8):
+                    directory.place(spec.group_id, f"k{i}", ["s0", "s1"])
+            start = topo.total_bytes_sent()
+            for i in range(8):
+                for _ in range(5):
+                    dep.manager("s0").register_increment(spec, f"k{i}", 1)
+            dep.sim.run(until=0.01)
+            return topo.total_bytes_sent() - start
+
+        full_bytes = run(False)
+        partial_bytes = run(True)
+        assert partial_bytes < full_bytes / 2  # fanout 1 vs 3

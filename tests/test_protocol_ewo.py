@@ -1,0 +1,240 @@
+"""Tests for the EWO protocol: broadcast, merge, periodic sync (section 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.analysis.metrics import convergence_time, replica_divergence
+
+
+def declare_counter(deployment, name="ctr", **kwargs):
+    return deployment.declare(
+        RegisterSpec(name, Consistency.EWO, ewo_mode=EwoMode.COUNTER, **kwargs)
+    )
+
+
+def declare_lww(deployment, name="lww", **kwargs):
+    return deployment.declare(
+        RegisterSpec(name, Consistency.EWO, ewo_mode=EwoMode.LWW, **kwargs)
+    )
+
+
+class TestCounterMode:
+    def test_increment_returns_global_sum(self, deployment):
+        spec = declare_counter(deployment)
+        m0 = deployment.manager("s0")
+        assert m0.register_increment(spec, "k", 5) == 5
+        assert m0.register_increment(spec, "k", 2) == 7
+
+    def test_broadcast_merges_on_all_replicas(self, deployment):
+        spec = declare_counter(deployment)
+        deployment.manager("s0").register_increment(spec, "k", 5)
+        deployment.manager("s1").register_increment(spec, "k", 3)
+        deployment.sim.run(until=0.01)
+        assert all(state["k"] == 8 for state in deployment.ewo_states(spec))
+
+    def test_concurrent_increments_never_lost(self, deployment):
+        """The CRDT guarantee: concurrent increments all count."""
+        spec = declare_counter(deployment)
+        for i in range(60):
+            deployment.manager(f"s{i % 3}").register_increment(spec, "k", 1)
+        deployment.sim.run(until=0.05)
+        assert all(state["k"] == 60 for state in deployment.ewo_states(spec))
+
+    def test_read_local_and_cheap(self, deployment):
+        spec = declare_counter(deployment)
+        m0 = deployment.manager("s0")
+        m0.register_increment(spec, "k", 1)
+        assert m0.register_read(spec, "k", None) == 1  # immediately visible
+        assert m0.register_read(spec, "missing", None) == 0
+
+    def test_write_rejected_on_counter_group(self, deployment):
+        spec = declare_counter(deployment)
+        with pytest.raises(TypeError):
+            deployment.manager("s0").ewo.write(spec, "k", 5)
+
+    def test_increment_rejected_on_lww_group(self, deployment):
+        spec = declare_lww(deployment)
+        with pytest.raises(TypeError):
+            deployment.manager("s0").register_increment(spec, "k", 1)
+
+    def test_increment_rejected_on_sro_group(self, deployment):
+        spec = deployment.declare(RegisterSpec("strong", Consistency.SRO))
+        with pytest.raises(TypeError):
+            deployment.manager("s0").register_increment(spec, "k", 1)
+
+
+class TestLwwMode:
+    def test_write_visible_locally_at_once(self, deployment):
+        spec = declare_lww(deployment)
+        m0 = deployment.manager("s0")
+        m0.register_write(spec, "k", "v")
+        assert m0.register_read(spec, "k", None) == "v"
+
+    def test_write_propagates(self, deployment):
+        spec = declare_lww(deployment)
+        deployment.manager("s0").register_write(spec, "k", "v")
+        deployment.sim.run(until=0.01)
+        assert all(state.get("k") == "v" for state in deployment.ewo_states(spec))
+
+    def test_concurrent_writes_converge_to_one_winner(self, deployment):
+        spec = declare_lww(deployment)
+        deployment.manager("s0").register_write(spec, "k", "a")
+        deployment.manager("s1").register_write(spec, "k", "b")
+        deployment.manager("s2").register_write(spec, "k", "c")
+        deployment.sim.run(until=0.02)
+        states = deployment.ewo_states(spec)
+        assert replica_divergence(states) == 0
+        assert states[0]["k"] in ("a", "b", "c")
+
+    def test_later_write_wins(self, deployment):
+        spec = declare_lww(deployment)
+        deployment.manager("s0").register_write(spec, "k", "first")
+        deployment.sim.run(until=0.005)
+        deployment.manager("s1").register_write(spec, "k", "second")
+        deployment.sim.run(until=0.02)
+        assert all(state["k"] == "second" for state in deployment.ewo_states(spec))
+
+    def test_default_returned_before_any_write(self, deployment):
+        spec = deployment.declare(
+            RegisterSpec("flags", Consistency.EWO, ewo_mode=EwoMode.LWW, default=False)
+        )
+        assert deployment.manager("s0").register_read(spec, "k", None) is False
+
+
+class TestPeriodicSync:
+    def test_sync_heals_lost_updates(self, make_deployment):
+        dep, _, _ = make_deployment(3, loss_rate=0.5, sync_period=1e-3)
+        spec = dep.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        for i in range(40):
+            dep.manager(f"s{i % 3}").register_increment(spec, "k", 1)
+        elapsed = convergence_time(
+            dep.sim,
+            probe=lambda: all(s.get("k") == 40 for s in dep.ewo_states(spec)),
+            interval=1e-3,
+            timeout=2.0,
+        )
+        assert elapsed is not None, "replicas never converged despite sync"
+
+    def test_sync_packets_flow(self, make_deployment):
+        dep, _, _ = make_deployment(3, sync_period=1e-3)
+        spec = dep.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        dep.manager("s0").register_increment(spec, "k", 1)
+        dep.sim.run(until=0.02)
+        stats = dep.manager("s0").ewo.stats_for(spec.group_id)
+        assert stats.sync_packets_sent > 0
+        received = sum(
+            dep.manager(name).ewo.stats_for(spec.group_id).sync_packets_received
+            for name in dep.switch_names
+        )
+        assert received > 0
+
+    def test_sync_carries_full_state_not_just_own(self, make_deployment):
+        """Gossip robustness: a switch relays state it learned from others."""
+        dep, _, _ = make_deployment(3, sync_period=1e-3)
+        spec = dep.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        dep.manager("s0").register_increment(spec, "k", 5)
+        dep.sim.run(until=0.005)
+        entries = dep.manager("s1").ewo._full_state_entries(
+            dep.manager("s1").ewo.groups[spec.group_id]
+        )
+        # s1 never wrote, yet its sync payload includes s0's slot
+        assert any(entry.value == 5 for entry in entries)
+
+    def test_empty_state_sends_no_sync_entries(self, make_deployment):
+        dep, _, _ = make_deployment(2, sync_period=1e-3)
+        spec = dep.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        dep.sim.run(until=0.01)
+        stats = dep.manager("s0").ewo.stats_for(spec.group_id)
+        assert stats.sync_entries_sent == 0
+
+
+class TestBatching:
+    def test_batched_updates_flush_at_threshold(self, make_deployment):
+        dep, _, _ = make_deployment(2, sync_period=10.0)
+        spec = dep.declare(
+            RegisterSpec(
+                "ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER, ewo_batch_size=4
+            )
+        )
+        m0 = dep.manager("s0")
+        for _ in range(3):
+            m0.register_increment(spec, "k", 1)
+        dep.sim.run(until=0.005)
+        # below threshold: nothing broadcast yet
+        assert dep.manager("s1").ewo.local_state(spec.group_id).get("k") is None
+        m0.register_increment(spec, "k", 1)  # 4th write triggers the flush
+        dep.sim.run(until=0.01)
+        assert dep.manager("s1").ewo.local_state(spec.group_id)["k"] == 4
+
+    def test_batching_reduces_update_packets(self, make_deployment):
+        dep, _, _ = make_deployment(2, sync_period=10.0)
+        unbatched = dep.declare(
+            RegisterSpec("u", Consistency.EWO, ewo_mode=EwoMode.COUNTER, ewo_batch_size=1)
+        )
+        batched = dep.declare(
+            RegisterSpec("b", Consistency.EWO, ewo_mode=EwoMode.COUNTER, ewo_batch_size=8)
+        )
+        m0 = dep.manager("s0")
+        for _ in range(16):
+            m0.register_increment(unbatched, "k", 1)
+            m0.register_increment(batched, "k", 1)
+        dep.sim.run(until=0.01)
+        sent_u = m0.ewo.stats_for(unbatched.group_id).update_packets_sent
+        sent_b = m0.ewo.stats_for(batched.group_id).update_packets_sent
+        assert sent_u == 16 and sent_b == 2
+
+    def test_manual_flush(self, make_deployment):
+        dep, _, _ = make_deployment(2, sync_period=10.0)
+        spec = dep.declare(
+            RegisterSpec("c", Consistency.EWO, ewo_mode=EwoMode.COUNTER, ewo_batch_size=100)
+        )
+        m0 = dep.manager("s0")
+        m0.register_increment(spec, "k", 1)
+        m0.ewo.flush(spec.group_id)
+        dep.sim.run(until=0.005)
+        assert dep.manager("s1").ewo.local_state(spec.group_id)["k"] == 1
+
+
+class TestStats:
+    def test_merge_counters(self, deployment):
+        spec = declare_counter(deployment)
+        deployment.manager("s0").register_increment(spec, "k", 1)
+        deployment.sim.run(until=0.01)
+        s1 = deployment.manager("s1").ewo.stats_for(spec.group_id)
+        assert s1.updates_received >= 1
+        assert s1.merges_applied >= 1
+
+    def test_stale_merges_counted(self, deployment):
+        spec = declare_counter(deployment)
+        deployment.manager("s0").register_increment(spec, "k", 1)
+        deployment.sim.run(until=0.05)  # several sync rounds re-deliver
+        totals = sum(
+            deployment.manager(n).ewo.stats_for(spec.group_id).merges_stale
+            for n in deployment.switch_names
+        )
+        assert totals > 0
+
+    def test_memory_charged_per_replica_slot(self, make_deployment):
+        dep, _, switches = make_deployment(4)
+        before = switches[0].memory.used_bytes
+        dep.declare(
+            RegisterSpec(
+                "ctr",
+                Consistency.EWO,
+                ewo_mode=EwoMode.COUNTER,
+                capacity=100,
+                value_bytes=4,
+            )
+        )
+        used = switches[0].memory.used_bytes - before
+        assert used == 100 * 4 * (4 + 4)  # capacity * replicas * (ver+val)

@@ -1,0 +1,95 @@
+"""Tests for protocol wire formats: sizes, tokens, chain-hop helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crdt.clock import Timestamp
+from repro.net.headers import SwiShmemHeader, SwiShmemOp
+from repro.net.packet import Packet
+from repro.protocols.messages import (
+    ChainUpdate,
+    EwoEntry,
+    EwoSync,
+    EwoUpdate,
+    SnapshotAck,
+    SnapshotWrite,
+    WriteAck,
+    WriteRequest,
+    WriteToken,
+)
+
+
+class TestWriteToken:
+    def test_fresh_tokens_unique(self):
+        tokens = {WriteToken.fresh("s0") for _ in range(100)}
+        assert len(tokens) == 100
+
+    def test_equality_and_hash(self):
+        a = WriteToken("s0", 5)
+        b = WriteToken("s0", 5)
+        assert a == b and hash(a) == hash(b)
+        assert a != WriteToken("s1", 5)
+
+    def test_str(self):
+        assert str(WriteToken("s0", 5)) == "s0#5"
+
+
+class TestWireSizes:
+    def test_write_request_scales_with_widths(self):
+        small = WriteRequest(1, "k", "v", WriteToken.fresh("s0"), key_bytes=4, value_bytes=4)
+        large = WriteRequest(1, "k", "v", WriteToken.fresh("s0"), key_bytes=16, value_bytes=64)
+        assert large.wire_size - small.wire_size == (16 - 4) + (64 - 4)
+
+    def test_chain_update_includes_chain_list(self):
+        token = WriteToken.fresh("s0")
+        short = ChainUpdate(1, "k", "v", 1, 0, token, chain=("a", "b"))
+        long = ChainUpdate(1, "k", "v", 1, 0, token, chain=("a", "b", "c", "d"))
+        assert long.wire_size - short.wire_size == 8  # 4 bytes per member
+
+    def test_ack_smaller_than_update(self):
+        token = WriteToken.fresh("s0")
+        update = ChainUpdate(1, "k", "v", 1, 0, token, chain=("a", "b"))
+        ack = WriteAck(1, "k", 1, 0, token)
+        assert ack.wire_size < update.wire_size
+
+    def test_ewo_update_sums_entries(self):
+        one = EwoUpdate(1, "s0", [EwoEntry("k", 0, 1)])
+        three = EwoUpdate(1, "s0", [EwoEntry(f"k{i}", 0, 1) for i in range(3)])
+        per_entry = EwoEntry("k", 0, 1).wire_bytes(8, 8)
+        assert three.wire_size - one.wire_size == 2 * per_entry
+
+    def test_entry_version_encodings(self):
+        slot_entry = EwoEntry("k", 2, 10)
+        stamp_entry = EwoEntry("k", Timestamp(1.0, 0, 1), 10)
+        assert stamp_entry.wire_bytes(8, 8) > slot_entry.wire_bytes(8, 8)
+
+    def test_snapshot_messages(self):
+        write = SnapshotWrite(1, "k", "v", 3, 0, "s0")
+        ack = SnapshotAck(1, "k", 3, "s1")
+        assert write.wire_size > ack.wire_size
+
+    def test_packet_accounts_payload(self):
+        message = WriteRequest(1, "k", "v", WriteToken.fresh("s0"))
+        packet = Packet(
+            swishmem=SwiShmemHeader(op=SwiShmemOp.WRITE_REQUEST, register_group=1),
+            swishmem_payload=message,
+        )
+        bare = Packet(swishmem=SwiShmemHeader(op=SwiShmemOp.WRITE_REQUEST, register_group=1))
+        assert packet.wire_size == bare.wire_size + message.wire_size
+
+
+class TestChainHops:
+    def test_next_hop_after(self):
+        update = ChainUpdate(
+            1, "k", "v", 1, 0, WriteToken.fresh("s0"), chain=("a", "b", "c")
+        )
+        assert update.next_hop_after("a") == "b"
+        assert update.next_hop_after("b") == "c"
+        assert update.next_hop_after("c") is None
+        assert update.next_hop_after("zz") is None
+
+    def test_sync_is_update_subtype(self):
+        sync = EwoSync(1, "s0", [EwoEntry("k", 0, 1)])
+        assert isinstance(sync, EwoUpdate)
+        assert sync.wire_size > 0

@@ -1,0 +1,235 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Process, SimulationError, Simulator, format_time
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock advanced to the window edge
+        sim.run(until=10.0)
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_even_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_non_finite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # must not raise
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestStopAndStep:
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+
+        def stopper():
+            fired.append("a")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_step_runs_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcess:
+    def test_periodic_ticks(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, 1.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_after_overrides_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, 1.0, lambda: ticks.append(sim.now), start_after=0.25).start()
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        process = Process(sim, 1.0, lambda: None).start()
+        sim.run(until=2.5)
+        process.stop()
+        before = process.ticks
+        sim.run(until=10.0)
+        assert process.ticks == before
+        assert not process.alive
+
+    def test_body_can_stop_itself(self):
+        sim = Simulator()
+        holder = {}
+
+        def body():
+            if holder["p"].ticks >= 3:
+                holder["p"].stop()
+
+        holder["p"] = Process(sim, 1.0, body).start()
+        sim.run(until=100.0)
+        assert holder["p"].ticks == 3
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Process(sim, 0.0, lambda: None)
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        ticks = []
+        Process(sim, 1.0, lambda: ticks.append(sim.now), jitter=lambda: 0.5).start()
+        sim.run(until=4.0)
+        # first at 1.0 (start_after default = period), then +1.5 each
+        assert ticks == pytest.approx([1.0, 2.5, 4.0])
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        process = Process(sim, 1.0, lambda: None).start()
+        assert process.start() is process
+        sim.run(until=1.5)
+        assert process.ticks == 1
+
+
+def test_format_time():
+    assert format_time(1e-6) == "1.000us"
+    assert "," in format_time(1.0)  # thousands separator for big values
+
+
+def test_determinism_same_schedule_same_order():
+    def run_once():
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.schedule((i * 7919 % 13) / 10.0, order.append, i)
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,104 @@
+"""Tests for seeded RNG streams and the tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.random import SeededRng, derive_seed
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42).stream("x")
+        b = SeededRng(42).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_independent(self):
+        rng = SeededRng(42)
+        xs = [rng.stream("x").random() for _ in range(5)]
+        ys = [rng.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_stream_cached(self):
+        rng = SeededRng(0)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        rng1 = SeededRng(7)
+        first = rng1.stream("workload")
+        seq1 = [first.random() for _ in range(3)]
+        rng2 = SeededRng(7)
+        rng2.stream("brand-new-consumer").random()  # extra stream created first
+        seq2 = [rng2.stream("workload").random() for _ in range(3)]
+        assert seq1 == seq2
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fork_is_independent(self):
+        root = SeededRng(9)
+        child = root.fork("switch0")
+        assert child.seed != root.seed
+        assert root.fork("switch0").seed == child.seed
+
+    def test_helpers(self):
+        rng = SeededRng(5)
+        assert 0.0 <= rng.random() < 1.0
+        assert 1 <= rng.randint(1, 3) <= 3
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+        assert 2.0 <= rng.uniform(2.0, 4.0) <= 4.0
+        assert rng.expovariate(100.0) > 0.0
+        sample = rng.sample(list(range(10)), 3)
+        assert len(sample) == 3
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+
+class TestTracer:
+    def test_records_everything_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "fwd", "s0", "tx", pkt=1)
+        tracer.emit(2.0, "drop", "s1", "loss")
+        assert len(tracer) == 2
+
+    def test_category_filter(self):
+        tracer = Tracer(categories={"drop"})
+        tracer.emit(1.0, "fwd", "s0", "tx")
+        tracer.emit(2.0, "drop", "s1", "loss")
+        assert len(tracer) == 1
+        assert tracer.records[0].category == "drop"
+
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.emit(1.0, "anything", "s0", "msg")
+        assert len(NULL_TRACER) == 0
+
+    def test_by_category_and_node(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "fwd", "s0", "a")
+        tracer.emit(2.0, "fwd", "s1", "b")
+        tracer.emit(3.0, "drop", "s0", "c")
+        assert len(tracer.by_category("fwd")) == 2
+        assert len(tracer.by_node("s0")) == 2
+
+    def test_sink_invoked(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_sink(seen.append)
+        tracer.emit(1.0, "x", "n", "m")
+        assert len(seen) == 1
+
+    def test_record_str_includes_fields(self):
+        tracer = Tracer()
+        tracer.emit(1e-6, "fwd", "s0", "tx", pkt=7)
+        text = str(tracer.records[0])
+        assert "s0" in text and "fwd" in text and "pkt=7" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x", "n", "m")
+        tracer.clear()
+        assert len(tracer) == 0

@@ -1,0 +1,213 @@
+"""Tests for count-min sketch, Bloom filter, heavy hitters, entropy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.heavyhitter import (
+    HeavyHitterTracker,
+    empirical_entropy,
+    normalized_entropy,
+)
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(depth=4, width=64, seed=1)
+        truth = {}
+        for i in range(200):
+            key = f"k{i % 30}"
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_exact_when_sparse(self):
+        sketch = CountMinSketch(depth=4, width=4096, seed=1)
+        sketch.add("a", 5)
+        sketch.add("b", 3)
+        assert sketch.estimate("a") == 5
+        assert sketch.estimate("b") == 3
+        assert sketch.estimate("never") == 0
+
+    def test_merge_sum_combines_disjoint_streams(self):
+        a = CountMinSketch(seed=2)
+        b = CountMinSketch(seed=2)
+        a.add("x", 4)
+        b.add("x", 6)
+        a.merge_sum(b)
+        assert a.estimate("x") == 10
+        assert a.items_added == 10
+
+    def test_merge_max_idempotent(self):
+        a = CountMinSketch(seed=2)
+        b = CountMinSketch(seed=2)
+        b.add("x", 5)
+        assert a.merge_max(b) is True
+        assert a.merge_max(b) is False  # re-delivery harmless
+        assert a.estimate("x") == 5
+
+    def test_merge_incompatible_rejected(self):
+        a = CountMinSketch(seed=1)
+        b = CountMinSketch(seed=2)
+        with pytest.raises(ValueError):
+            a.merge_sum(b)
+        c = CountMinSketch(depth=2, seed=1)
+        with pytest.raises(ValueError):
+            a.merge_max(c)
+
+    def test_copy_independent(self):
+        a = CountMinSketch()
+        a.add("x")
+        b = a.copy()
+        b.add("x")
+        assert a.estimate("x") == 1 and b.estimate("x") == 2
+
+    def test_clear(self):
+        sketch = CountMinSketch()
+        sketch.add("x", 10)
+        sketch.clear()
+        assert sketch.estimate("x") == 0 and sketch.items_added == 0
+
+    def test_rows_roundtrip(self):
+        a = CountMinSketch(depth=2, width=8)
+        a.add("x", 3)
+        b = CountMinSketch(depth=2, width=8)
+        b.load_rows(a.rows())
+        assert a == b
+        with pytest.raises(ValueError):
+            b.load_rows([[0] * 4])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().add("x", -1)
+
+    def test_state_bytes(self):
+        assert CountMinSketch(depth=4, width=100, counter_bytes=4).state_bytes == 1600
+
+    @given(st.lists(st.sampled_from("abcdef"), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_overestimate_invariant_property(self, keys):
+        sketch = CountMinSketch(depth=3, width=16, seed=7)
+        truth = {}
+        for key in keys:
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        assert all(sketch.estimate(k) >= c for k, c in truth.items())
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(nbits=1024, num_hashes=3, seed=1)
+        keys = [f"sig{i}" for i in range(50)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.for_capacity(1000, fp_rate=0.01, seed=1)
+        for i in range(1000):
+            bloom.add(f"member{i}")
+        false_positives = sum(1 for i in range(10000) if f"other{i}" in bloom)
+        assert false_positives / 10000 < 0.05
+
+    def test_for_capacity_sizing(self):
+        bloom = BloomFilter.for_capacity(100, fp_rate=0.01)
+        assert bloom.nbits > 800  # ~9.6 bits/element at 1%
+        assert bloom.num_hashes >= 5
+
+    def test_merge_or(self):
+        a = BloomFilter(nbits=256, num_hashes=2, seed=3)
+        b = BloomFilter(nbits=256, num_hashes=2, seed=3)
+        a.add("x")
+        b.add("y")
+        assert a.merge_or(b) is True
+        assert "x" in a and "y" in a
+        assert a.merge_or(b) is False  # idempotent
+
+    def test_merge_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(nbits=128, seed=1).merge_or(BloomFilter(nbits=256, seed=1))
+
+    def test_fill_ratio(self):
+        bloom = BloomFilter(nbits=100, num_hashes=1)
+        assert bloom.fill_ratio() == 0.0
+        bloom.add("x")
+        assert bloom.fill_ratio() == pytest.approx(0.01)
+
+    def test_copy_and_eq(self):
+        a = BloomFilter(seed=5)
+        a.add("x")
+        b = a.copy()
+        assert a == b
+        b.add("y")
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(nbits=0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+
+class TestEntropy:
+    def test_uniform_distribution_max_entropy(self):
+        counts = {i: 10 for i in range(16)}
+        assert empirical_entropy(counts) == pytest.approx(4.0)
+        assert normalized_entropy(counts) == pytest.approx(1.0)
+
+    def test_point_mass_zero_entropy(self):
+        assert empirical_entropy({"victim": 1000}) == 0.0
+        assert normalized_entropy({"victim": 1000}) == 0.0
+
+    def test_empty_counts(self):
+        assert empirical_entropy({}) == 0.0
+        assert normalized_entropy({}) == 0.0
+
+    def test_skew_reduces_entropy(self):
+        uniform = normalized_entropy({i: 10 for i in range(10)})
+        skewed = normalized_entropy({0: 910, **{i: 10 for i in range(1, 10)}})
+        assert skewed < uniform
+
+    def test_zero_counts_ignored(self):
+        assert empirical_entropy({"a": 10, "b": 0}) == 0.0
+
+
+class TestHeavyHitter:
+    def test_tracks_top_keys(self):
+        tracker = HeavyHitterTracker(k=3, seed=1)
+        for _ in range(100):
+            tracker.add("elephant")
+        for i in range(50):
+            tracker.add(f"mouse{i}")
+        top = tracker.top(1)
+        assert top[0][0] == "elephant"
+        assert top[0][1] >= 100
+
+    def test_eviction_of_weakest(self):
+        tracker = HeavyHitterTracker(k=2, seed=1)
+        tracker.add("a", 1)
+        tracker.add("b", 2)
+        tracker.add("c", 50)
+        assert "c" in tracker
+        assert len(tracker.top()) == 2
+
+    def test_top_n_ordering(self):
+        tracker = HeavyHitterTracker(k=4, seed=1)
+        tracker.add("a", 5)
+        tracker.add("b", 10)
+        tracker.add("c", 1)
+        counts = [count for _, count in tracker.top()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HeavyHitterTracker(k=0)

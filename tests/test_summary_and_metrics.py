@@ -1,0 +1,98 @@
+"""Tests for the deployment summary API and the stale-read metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.history import HistoryRecorder
+from repro.analysis.metrics import count_stale_reads
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+
+
+class TestCountStaleReads:
+    def _history(self, reads):
+        recorder = HistoryRecorder()
+        for time, value in reads:
+            recorder.record_instant("read", 1, "k", value, "s0", time)
+        return recorder
+
+    def test_monotone_reads_not_stale(self):
+        recorder = self._history([(1.0, 1), (2.0, 2), (3.0, 3)])
+        assert count_stale_reads(recorder) == 0
+
+    def test_regression_counted(self):
+        recorder = self._history([(1.0, 5), (2.0, 3), (3.0, 5)])
+        assert count_stale_reads(recorder) == 1
+
+    def test_none_values_ignored(self):
+        recorder = self._history([(1.0, None), (2.0, 1), (3.0, None)])
+        assert count_stale_reads(recorder) == 0
+
+    def test_keys_tracked_independently(self):
+        recorder = HistoryRecorder()
+        recorder.record_instant("read", 1, "a", 5, "s0", 1.0)
+        recorder.record_instant("read", 1, "b", 1, "s0", 2.0)  # different key
+        assert count_stale_reads(recorder) == 0
+
+    def test_writes_ignored(self):
+        recorder = HistoryRecorder()
+        recorder.record_instant("write", 1, "k", 9, "s0", 1.0)
+        recorder.record_instant("read", 1, "k", 1, "s0", 2.0)
+        assert count_stale_reads(recorder) == 0
+
+    def test_group_and_key_filters(self):
+        recorder = HistoryRecorder()
+        recorder.record_instant("read", 1, "k", 5, "s0", 1.0)
+        recorder.record_instant("read", 1, "k", 3, "s0", 2.0)
+        recorder.record_instant("read", 2, "k", 5, "s0", 3.0)
+        recorder.record_instant("read", 2, "k", 3, "s0", 4.0)
+        assert count_stale_reads(recorder) == 2
+        assert count_stale_reads(recorder, group=1) == 1
+        assert count_stale_reads(recorder, group=2, key="k") == 1
+
+
+class TestDeploymentSummary:
+    def test_summary_structure(self, deployment):
+        sro = deployment.declare(RegisterSpec("table", Consistency.SRO))
+        ewo = deployment.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        deployment.manager("s0").register_write(sro, "k", "v")
+        deployment.manager("s1").register_increment(ewo, "k", 2)
+        deployment.sim.run(until=0.05)
+        summary = deployment.summary()
+
+        assert set(summary["switches"]) == {"s0", "s1", "s2"}
+        s0 = summary["switches"]["s0"]
+        assert s0["failed"] is False
+        assert s0["memory_used_bytes"] > 0
+        assert 0 < s0["memory_utilization"] < 1
+        assert s0["cpu_ops"] > 0  # the SRO write punted
+
+        assert set(summary["groups"]) == {"table", "ctr"}
+        table = summary["groups"]["table"]
+        assert table["consistency"] == "sro"
+        assert table["totals"]["writes_committed"] == 1
+        ctr = summary["groups"]["ctr"]
+        assert ctr["totals"]["local_writes"] == 1
+        assert ctr["totals"]["merges_applied"] >= 2
+
+        assert summary["failures"] == 0
+        assert summary["replication_bytes_on_wire"] > 0
+
+    def test_summary_reflects_failures(self, deployment):
+        deployment.declare(RegisterSpec("r", Consistency.SRO))
+        deployment.controller.note_failure_time("s1")
+        deployment.fail_switch("s1")
+        deployment.sim.run(until=0.01)
+        summary = deployment.summary()
+        assert summary["switches"]["s1"]["failed"] is True
+        assert summary["failures"] == 1
+
+    def test_summary_json_serializable(self, deployment):
+        import json
+
+        deployment.declare(RegisterSpec("r", Consistency.SRO))
+        deployment.sim.run(until=0.01)
+        text = json.dumps(deployment.summary())
+        assert "switches" in text

@@ -1,0 +1,125 @@
+"""Tests for the match-action pipeline structure and stage memory split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import make_tcp_packet
+from repro.sim.engine import Simulator
+from repro.switch.memory import OutOfSwitchMemory
+from repro.switch.pipeline import Pipeline, StageAction
+from repro.switch.pisa import PisaSwitch
+
+
+def make_switch(memory_bytes=1 << 20):
+    sim = Simulator()
+    return sim, PisaSwitch("s0", sim, memory_bytes=memory_bytes)
+
+
+class TestPipelineStructure:
+    def test_memory_split_between_stages(self):
+        sim, switch = make_switch(memory_bytes=12_000)
+        pipeline = Pipeline(switch, num_stages=12)
+        # the pipeline claims (free // 12) * 12 bytes from the switch
+        assert switch.memory.used_bytes == 12_000
+        stage = pipeline.add_stage("a")
+        assert stage.memory.capacity_bytes == 1000
+
+    def test_stage_allocation_bounded_by_share(self):
+        sim, switch = make_switch(memory_bytes=1200)
+        pipeline = Pipeline(switch, num_stages=12)
+        stage = pipeline.add_stage("a")
+        with pytest.raises(OutOfSwitchMemory):
+            stage.register_array("big", size=100, width_bytes=4)  # 400 > 100
+
+    def test_stage_count_limit(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=2)
+        pipeline.add_stage("a")
+        pipeline.add_stage("b")
+        with pytest.raises(OutOfSwitchMemory):
+            pipeline.add_stage("c")
+
+    def test_object_factories(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=4)
+        stage = pipeline.add_stage("state")
+        reg = stage.register_array("r", 16, 4)
+        table = stage.match_table("t", 8, 8, 8)
+        meter = stage.meter("m", 4)
+        counter = stage.counter("c", 4)
+        assert stage.objects == {"r": reg, "t": table, "m": meter, "c": counter}
+        assert stage.memory.used_bytes > 0
+
+    def test_invalid_stage_count(self):
+        sim, switch = make_switch()
+        with pytest.raises(ValueError):
+            Pipeline(switch, num_stages=0)
+
+
+class TestPipelineExecution:
+    def test_stages_run_in_order(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=4)
+        order = []
+        for name in ("one", "two"):
+            stage = pipeline.add_stage(name)
+            stage.set_handler(
+                lambda p, f, n=name: (order.append(n), StageAction.CONTINUE)[1]
+            )
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        result = pipeline.process(packet, "host")
+        assert order == ["one", "two"]
+        assert result == StageAction.FALLTHROUGH
+
+    def test_consume_stops_pipeline(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=4)
+        first = pipeline.add_stage("first")
+        first.set_handler(lambda p, f: StageAction.CONSUME)
+        second = pipeline.add_stage("second")
+        seen = []
+        second.set_handler(lambda p, f: (seen.append(1), StageAction.CONTINUE)[1])
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert pipeline.process(packet, "host") == StageAction.CONSUME
+        assert seen == []
+
+    def test_fallthrough_from_stage(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=2)
+        stage = pipeline.add_stage("only")
+        stage.set_handler(lambda p, f: StageAction.FALLTHROUGH)
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert pipeline.process(packet, "host") == StageAction.FALLTHROUGH
+
+    def test_stage_without_handler_continues(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=2)
+        pipeline.add_stage("noop")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert pipeline.process(packet, "host") == StageAction.FALLTHROUGH
+
+    def test_packets_seen_counted(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=2)
+        stage = pipeline.add_stage("count")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        pipeline.process(packet, "host")
+        pipeline.process(packet, "host")
+        assert stage.packets_seen == 2
+
+    def test_as_handler_adapts_to_switch(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=2)
+        stage = pipeline.add_stage("consume-all")
+        stage.set_handler(lambda p, f: StageAction.CONSUME)
+        handler = pipeline.as_handler()
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert handler(packet, "host") is True
+
+    def test_memory_used_sums_stages(self):
+        sim, switch = make_switch()
+        pipeline = Pipeline(switch, num_stages=4)
+        stage = pipeline.add_stage("s")
+        stage.register_array("r", 8, 4)
+        assert pipeline.memory_used() == 32
