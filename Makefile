@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples all clean
+.PHONY: install test bench tables examples chaos all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,11 @@ examples:
 		echo "=== $$script ==="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# Seeded chaos soak (experiment F3): faults + nemesis vs SRO and EWO,
+# with invariant monitors and a determinism replay check.
+chaos:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_soak.py --quick
 
 # The two artifacts EXPERIMENTS.md points reviewers at.
 all:

@@ -158,7 +158,8 @@ def test_sro_failover_shape_matches_paper(benchmark):
         # writes resume once detection + chain repair complete: the
         # unavailability window is dominated by detection + retry timeout
         assert r.unavailability < 20e-3
-        assert r.detection_latency <= 0.6e-3
+        # bounded by heartbeat period + timeout (the detection_bound)
+        assert r.detection_latency <= 0.85e-3
         # recovery completes and transfers the full keyspace
         assert r.recovery_time != float("inf")
         assert r.snapshot_entries >= r.keys

@@ -1,0 +1,30 @@
+"""Chaos engineering harness for the SwiShmem reproduction.
+
+The paper's robustness claims (section 6.3: "no committed write is
+lost" across SRO chain repair; EWO "needs no explicit failover
+protocol") are only credible under an adversarial fault model.  This
+package provides one, built entirely on the deterministic simulator so
+every chaos run is reproducible from its seed:
+
+* :mod:`repro.chaos.faults` — :class:`FaultInjector`: schedulable,
+  seed-driven switch crashes/recoveries, link flaps, loss bursts, and
+  network partitions.
+* :mod:`repro.chaos.nemesis` — :class:`Nemesis`: a channel wrapper that
+  duplicates and delays (hence reorders) in-flight SwiShmem packets.
+* :mod:`repro.chaos.invariants` — :class:`InvariantSuite`: continuous
+  monitors asserting no-committed-write-lost, CRDT counter
+  monotonicity, and chain/multicast configuration consistency.
+"""
+
+from repro.chaos.faults import FaultInjector, FaultRecord
+from repro.chaos.invariants import InvariantReport, InvariantSuite, Violation
+from repro.chaos.nemesis import Nemesis
+
+__all__ = [
+    "FaultInjector",
+    "FaultRecord",
+    "InvariantReport",
+    "InvariantSuite",
+    "Nemesis",
+    "Violation",
+]

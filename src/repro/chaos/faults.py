@@ -1,0 +1,277 @@
+"""Deterministic, schedulable fault injection.
+
+:class:`FaultInjector` composes the fault primitives the paper's system
+model allows ("packets can be dropped, and links and switches may
+fail", section 5) into schedules riding the simulator's event queue:
+
+* ``crash`` / ``recover`` — fail-stop a switch, later bring it back
+  through the controller's recovery protocol (wiped state by default);
+* ``link_flap`` — administratively down one link for a while;
+* ``loss_burst`` — temporarily raise the loss rate on some or all
+  channels (correlated loss, unlike the i.i.d. baseline);
+* ``partition`` — bipartition the topology by downing every crossing
+  link, healing after a duration.
+
+Every applied fault is appended to :attr:`FaultInjector.log`, which —
+together with the deployment's event counters and final state — forms
+the determinism digest chaos runs compare across identical seeds.
+
+``schedule_random`` draws a randomized-but-seeded schedule from the
+injector's own named RNG streams, so two injectors with the same seed
+against the same deployment plan byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.sim.random import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import SwiShmemDeployment
+
+__all__ = ["FaultInjector", "FaultRecord"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault as actually applied (not merely scheduled)."""
+
+    at: float
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.at * 1e3:8.3f} ms] {self.kind}: {self.detail}"
+
+
+class FaultInjector:
+    """Schedulable, seed-driven fault composition for one deployment."""
+
+    def __init__(self, deployment: "SwiShmemDeployment", seed: int = 0) -> None:
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.rng = SeededRng(seed)
+        self.log: List[FaultRecord] = []
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.log.append(FaultRecord(at=self.sim.now, kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Switch crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self, at: float, name: str) -> None:
+        self.sim.schedule_at(at, self._crash, name, label="chaos:crash")
+
+    def _crash(self, name: str) -> None:
+        if self.deployment.manager(name).switch.failed:
+            return  # already down; crashing twice is a no-op
+        self.deployment.controller.note_failure_time(name)
+        self.deployment.fail_switch(name)
+        self._record("crash", name)
+
+    def recover(self, at: float, name: str, wipe_state: bool = True) -> None:
+        self.sim.schedule_at(at, self._recover, name, wipe_state, label="chaos:recover")
+
+    def _recover(self, name: str, wipe_state: bool) -> None:
+        if not self.deployment.manager(name).switch.failed:
+            return  # came back some other way (or never crashed)
+        self.deployment.controller.recover_switch(name, wipe_state=wipe_state)
+        self._record("recover", f"{name} (wipe={wipe_state})")
+
+    def crash_recover(
+        self, at: float, name: str, down_for: float, wipe_state: bool = True
+    ) -> None:
+        self.crash(at, name)
+        self.recover(at + down_for, name, wipe_state=wipe_state)
+
+    # ------------------------------------------------------------------
+    # Link faults
+    # ------------------------------------------------------------------
+    def link_flap(self, at: float, a: str, b: str, down_for: float) -> None:
+        self.sim.schedule_at(at, self._set_link, a, b, False, label="chaos:link-down")
+        self.sim.schedule_at(
+            at + down_for, self._set_link, a, b, True, label="chaos:link-up"
+        )
+
+    def _set_link(self, a: str, b: str, up: bool) -> None:
+        link = self.deployment.topo.link_between(a, b)
+        if link is None:
+            raise ValueError(f"no link between {a} and {b}")
+        if link.up == up:
+            return
+        link.set_up(up)
+        self._record("link-up" if up else "link-down", f"{a}<->{b}")
+
+    def loss_burst(
+        self,
+        at: float,
+        duration: float,
+        loss_rate: float,
+        pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    ) -> None:
+        """Raise the loss rate on the given links (default: all links)
+        for ``duration``, then restore the original rates."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        pair_list = list(pairs) if pairs is not None else None
+        self.sim.schedule_at(
+            at, self._start_burst, pair_list, loss_rate, duration, label="chaos:loss-burst"
+        )
+
+    def _burst_links(self, pair_list):
+        if pair_list is None:
+            return list(self.deployment.topo.links)
+        links = []
+        for a, b in pair_list:
+            link = self.deployment.topo.link_between(a, b)
+            if link is None:
+                raise ValueError(f"no link between {a} and {b}")
+            links.append(link)
+        return links
+
+    def _start_burst(self, pair_list, loss_rate: float, duration: float) -> None:
+        links = self._burst_links(pair_list)
+        saved: List[Tuple[object, float, float]] = []
+        for link in links:
+            saved.append((link, link.ab.loss_rate, link.ba.loss_rate))
+            link.ab.loss_rate = loss_rate
+            link.ba.loss_rate = loss_rate
+        scope = "all links" if pair_list is None else f"{len(links)} links"
+        self._record("loss-burst", f"{scope} at {loss_rate:.0%} for {duration * 1e3:.1f} ms")
+        self.sim.schedule(duration, self._end_burst, saved, label="chaos:loss-burst-end")
+
+    def _end_burst(self, saved) -> None:
+        for link, ab_rate, ba_rate in saved:
+            link.ab.loss_rate = ab_rate
+            link.ba.loss_rate = ba_rate
+        self._record("loss-burst-end", f"{len(saved)} links restored")
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        at: float,
+        duration: float,
+        side_a: Sequence[str],
+        side_b: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Bipartition the deployment: down every link crossing the cut,
+        heal after ``duration``.  ``side_b`` defaults to the complement."""
+        side_a = list(side_a)
+        if side_b is None:
+            side_b = [n for n in self.deployment.switch_names if n not in side_a]
+        else:
+            side_b = list(side_b)
+        overlap = set(side_a) & set(side_b)
+        if overlap:
+            raise ValueError(f"sides overlap: {sorted(overlap)}")
+        self.sim.schedule_at(
+            at, self._apply_partition, side_a, side_b, duration, label="chaos:partition"
+        )
+
+    def _apply_partition(self, side_a, side_b, duration: float) -> None:
+        crossing = []
+        set_a, set_b = set(side_a), set(side_b)
+        for link in self.deployment.topo.links:
+            ends = {link.a.name, link.b.name}
+            if ends & set_a and ends & set_b and link.up:
+                link.set_up(False)
+                crossing.append(link)
+        self._record(
+            "partition",
+            f"{{{','.join(sorted(set_a))}}} | {{{','.join(sorted(set_b))}}}"
+            f" ({len(crossing)} links) for {duration * 1e3:.1f} ms",
+        )
+        self.sim.schedule(duration, self._heal_partition, crossing, label="chaos:heal")
+
+    def _heal_partition(self, crossing) -> None:
+        for link in crossing:
+            link.set_up(True)
+        self._record("heal", f"{len(crossing)} links restored")
+
+    # ------------------------------------------------------------------
+    # Randomized-but-seeded schedules
+    # ------------------------------------------------------------------
+    def schedule_random(
+        self,
+        start: float,
+        horizon: float,
+        crashes: int = 1,
+        flaps: int = 1,
+        bursts: int = 1,
+        partitions: int = 1,
+        crash_downtime: Tuple[float, float] = (5e-3, 20e-3),
+        flap_downtime: Tuple[float, float] = (1e-3, 5e-3),
+        burst_duration: Tuple[float, float] = (2e-3, 10e-3),
+        burst_loss: float = 0.05,
+        partition_duration: Tuple[float, float] = (5e-3, 20e-3),
+        protect: Sequence[str] = (),
+    ) -> List[str]:
+        """Plan a random schedule inside ``[start, start + horizon]``.
+
+        Victims and times come from this injector's seeded streams, so
+        identical seeds plan identical schedules.  ``protect`` names
+        switches exempt from crashes (e.g. a designated writer whose
+        liveness an experiment's assertions require).  Crash downtime
+        should comfortably exceed the controller's detection bound so
+        each crash is detected before the recovery begins.
+
+        Returns human-readable descriptions of the planned faults.
+        """
+        stream = self.rng.stream("schedule")
+        names = [n for n in self.deployment.switch_names if n not in set(protect)]
+        links = [
+            (link.a.name, link.b.name) for link in self.deployment.topo.links
+        ]
+        planned: List[str] = []
+
+        def when(tail_margin: float) -> float:
+            span = max(horizon - tail_margin, 1e-9)
+            return start + stream.random() * span
+
+        for _ in range(crashes):
+            if not names:
+                break
+            victim = stream.choice(names)
+            down = stream.uniform(*crash_downtime)
+            at = when(down)
+            self.crash_recover(at, victim, down_for=down)
+            planned.append(f"crash {victim} at {at * 1e3:.2f} ms for {down * 1e3:.2f} ms")
+        for _ in range(flaps):
+            if not links:
+                break
+            a, b = stream.choice(links)
+            down = stream.uniform(*flap_downtime)
+            at = when(down)
+            self.link_flap(at, a, b, down_for=down)
+            planned.append(f"flap {a}<->{b} at {at * 1e3:.2f} ms for {down * 1e3:.2f} ms")
+        for _ in range(bursts):
+            duration = stream.uniform(*burst_duration)
+            at = when(duration)
+            self.loss_burst(at, duration=duration, loss_rate=burst_loss)
+            planned.append(
+                f"loss burst {burst_loss:.0%} at {at * 1e3:.2f} ms"
+                f" for {duration * 1e3:.2f} ms"
+            )
+        all_names = list(self.deployment.switch_names)
+        for _ in range(partitions):
+            if len(all_names) < 2:
+                break
+            size = stream.randint(1, len(all_names) - 1)
+            side = stream.sample(all_names, size)
+            duration = stream.uniform(*partition_duration)
+            at = when(duration)
+            self.partition(at, duration=duration, side_a=side)
+            planned.append(
+                f"partition {{{','.join(sorted(side))}}} at {at * 1e3:.2f} ms"
+                f" for {duration * 1e3:.2f} ms"
+            )
+        return planned
+
+    # ------------------------------------------------------------------
+    def log_digest(self) -> Tuple[Tuple[float, str, str], ...]:
+        """Canonical form of the applied-fault log for determinism checks."""
+        return tuple((r.at, r.kind, r.detail) for r in self.log)

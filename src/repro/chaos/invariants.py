@@ -1,0 +1,305 @@
+"""Continuous invariant monitors for chaos runs.
+
+Three monitors watch a deployment while faults are injected, each
+checking one of the claims the paper makes about failure handling:
+
+* **no-committed-write-lost** (SRO, section 6.3): once a write is acked
+  to its writer, every full chain member holds it — live, the monitor
+  checks per-slot applied sequence numbers; at finalization it also
+  compares stored values.  Members that are failed, excised, or in
+  catch-up are exempt (they are by definition not yet full members).
+
+* **counter monotonicity** (EWO counter CRDT): the merged counter value
+  — element-wise max across live replicas, summed over slots — never
+  regresses.  A crash may legitimately destroy increments that were
+  never gossiped (EWO trades durability for write latency), so the
+  floor is re-baselined whenever the failure picture changes; any such
+  loss is recorded as a note, not a violation.  Regression *without* a
+  fault is a bug.
+
+* **config consistency**: no live switch ever holds a chain descriptor
+  newer than the controller's authoritative one; equal versions imply
+  identical membership; and no detected-failed switch lingers in any
+  chain or multicast group.
+
+Monitors are asserted live on a periodic simulator process
+(:meth:`InvariantSuite.start`) and summarized by
+:meth:`InvariantSuite.finalize`, which runs the strict end-of-run
+checks and returns an :class:`InvariantReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.registers import Consistency, EwoMode
+from repro.sim.engine import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import SwiShmemDeployment
+
+__all__ = ["InvariantSuite", "InvariantReport", "Violation"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, timestamped at detection."""
+
+    at: float
+    monitor: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.at * 1e3:8.3f} ms] {self.monitor}: {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of a monitored run."""
+
+    checks: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    #: Non-fatal observations (e.g. counter floor re-baselined after a
+    #: crash destroyed un-gossiped increments).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def count(self, monitor: str) -> int:
+        return sum(1 for v in self.violations if v.monitor == monitor)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checks": dict(self.checks),
+            "violations": [str(v) for v in self.violations],
+            "notes": list(self.notes),
+        }
+
+
+class InvariantSuite:
+    """Live + final invariant checking against one deployment."""
+
+    def __init__(self, deployment: "SwiShmemDeployment") -> None:
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.report = InvariantReport(
+            checks={"no_lost_write": 0, "counter_monotonic": 0, "config_consistent": 0}
+        )
+        #: Commit timestamps, for unavailability-window analysis.
+        self.commit_times: List[float] = []
+        #: (group, key) -> (slot, seq, value) of the newest committed write.
+        self._commits: Dict[Tuple[int, Any], Tuple[int, int, Any]] = {}
+        #: (group, slot) -> highest committed seq.
+        self._slot_max: Dict[Tuple[int, int], int] = {}
+        #: (group, key) -> highest merged counter value observed.
+        self._counter_floor: Dict[Tuple[int, Any], Any] = {}
+        self._fault_picture: Optional[Tuple] = None
+        self._process: Optional[Process] = None
+        deployment.commit_listeners.append(self._on_commit)
+
+    # ------------------------------------------------------------------
+    def _on_commit(self, writer: str, spec, key: Any, ack) -> None:
+        self.commit_times.append(self.sim.now)
+        gid = spec.group_id
+        current = self._commits.get((gid, key))
+        if current is None or ack.seq >= current[1]:
+            self._commits[(gid, key)] = (ack.slot, ack.seq, ack.value)
+        slot_key = (gid, ack.slot)
+        if ack.seq > self._slot_max.get(slot_key, 0):
+            self._slot_max[slot_key] = ack.seq
+
+    # ------------------------------------------------------------------
+    def start(self, period: float = 1e-3) -> "InvariantSuite":
+        self._process = Process(
+            self.sim, period, self.check_now, name="chaos:invariants"
+        ).start()
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def check_now(self) -> None:
+        self._check_no_lost_write()
+        self._check_counters()
+        self._check_config()
+
+    def finalize(self) -> InvariantReport:
+        """Stop live checking, run the strict end-of-run checks."""
+        self.stop()
+        self._check_no_lost_write(final=True)
+        self._check_counters()
+        self._check_config()
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _violate(self, monitor: str, detail: str) -> None:
+        self.report.violations.append(
+            Violation(at=self.sim.now, monitor=monitor, detail=detail)
+        )
+
+    def _full_members(self, group_id: int):
+        """Live, non-catching-up members of the group's current chain —
+        the replicas obligated to hold every committed write."""
+        chain = self.deployment.chains.get(group_id)
+        if chain is None:
+            return []
+        members = []
+        for name in chain.members:
+            manager = self.deployment.manager(name)
+            if manager.switch.failed:
+                continue
+            state = manager.sro.groups.get(group_id)
+            if state is None or state.catching_up:
+                continue
+            members.append((name, state))
+        return members
+
+    # ------------------------------------------------------------------
+    # Monitor 1: no committed write lost
+    # ------------------------------------------------------------------
+    def _check_no_lost_write(self, final: bool = False) -> None:
+        self.report.checks["no_lost_write"] += 1
+        for (gid, slot), seq in self._slot_max.items():
+            for name, state in self._full_members(gid):
+                applied = state.pending.applied_seq(slot)
+                if applied < seq:
+                    self._violate(
+                        "no_lost_write",
+                        f"group {gid} slot {slot}: {name} applied seq {applied}"
+                        f" < committed seq {seq}",
+                    )
+        if not final:
+            return
+        # End-of-run: the committed *values* must be present too (a
+        # later committed same-slot write to another key, or an applied-
+        # but-uncommitted overwrite, legitimately supersedes — detected
+        # by applied_seq having moved past the committed seq).
+        for (gid, key), (slot, seq, value) in self._commits.items():
+            for name, state in self._full_members(gid):
+                applied = state.pending.applied_seq(slot)
+                if applied == seq and state.store.get(key, _MISSING) != value:
+                    held = state.store.get(key, _MISSING)
+                    shown = "<absent>" if held is _MISSING else repr(held)
+                    self._violate(
+                        "no_lost_write",
+                        f"group {gid} key {key!r}: {name} holds {shown},"
+                        f" committed {value!r} at seq {seq}",
+                    )
+
+    # ------------------------------------------------------------------
+    # Monitor 2: CRDT counter monotonicity
+    # ------------------------------------------------------------------
+    def _current_fault_picture(self) -> Tuple:
+        controller = self.deployment.controller
+        down = tuple(
+            name
+            for name in self.deployment.switch_names
+            if self.deployment.manager(name).switch.failed
+        )
+        return (len(controller.failures), len(controller.recoveries), down)
+
+    def _check_counters(self) -> None:
+        self.report.checks["counter_monotonic"] += 1
+        picture = self._current_fault_picture()
+        rebaseline = picture != self._fault_picture
+        self._fault_picture = picture
+        for gid, spec in self.deployment.specs.items():
+            if spec.consistency is not Consistency.EWO:
+                continue
+            if spec.ewo_mode is not EwoMode.COUNTER:
+                continue
+            merged: Dict[Any, List[int]] = {}
+            for name in self.deployment.switch_names:
+                manager = self.deployment.manager(name)
+                if manager.switch.failed:
+                    continue
+                state = manager.ewo.groups.get(gid)
+                if state is None:
+                    continue
+                for key, vector in state.vectors.items():
+                    best = merged.setdefault(key, [0] * len(vector))
+                    if len(best) < len(vector):
+                        best.extend([0] * (len(vector) - len(best)))
+                    for i, v in enumerate(vector):
+                        if v > best[i]:
+                            best[i] = v
+            totals = {key: sum(vector) for key, vector in merged.items()}
+            # A key every live replica lost entirely (e.g. sole holder
+            # crashed) never shows up in the merge — still a regression.
+            for floor_gid, key in self._counter_floor:
+                if floor_gid == gid and key not in totals:
+                    totals[key] = 0
+            for key, total in totals.items():
+                floor = self._counter_floor.get((gid, key), 0)
+                if total < floor:
+                    if rebaseline:
+                        self.report.notes.append(
+                            f"[{self.sim.now * 1e3:.3f} ms] counter {gid}/{key!r}"
+                            f" re-baselined {floor} -> {total} after fault"
+                            f" (un-gossiped increments destroyed)"
+                        )
+                        self._counter_floor[(gid, key)] = total
+                    else:
+                        self._violate(
+                            "counter_monotonic",
+                            f"group {gid} key {key!r}: merged value regressed"
+                            f" {floor} -> {total} with no fault",
+                        )
+                else:
+                    self._counter_floor[(gid, key)] = total
+
+    # ------------------------------------------------------------------
+    # Monitor 3: chain / multicast configuration consistency
+    # ------------------------------------------------------------------
+    def _check_config(self) -> None:
+        self.report.checks["config_consistent"] += 1
+        controller = self.deployment.controller
+        detected_failed = set(controller._known_failed)
+        for gid, chain in self.deployment.chains.items():
+            for member in chain.members:
+                if member in detected_failed:
+                    self._violate(
+                        "config_consistent",
+                        f"group {gid}: detected-failed {member} still in chain",
+                    )
+            for name in self.deployment.switch_names:
+                manager = self.deployment.manager(name)
+                if manager.switch.failed:
+                    continue
+                state = manager.sro.groups.get(gid)
+                if state is None:
+                    continue
+                if state.chain.version > chain.version:
+                    self._violate(
+                        "config_consistent",
+                        f"group {gid}: {name} holds chain v{state.chain.version}"
+                        f" ahead of controller v{chain.version}",
+                    )
+                elif (
+                    state.chain.version == chain.version
+                    and state.chain.members != chain.members
+                ):
+                    self._violate(
+                        "config_consistent",
+                        f"group {gid}: {name} disagrees on membership at"
+                        f" v{chain.version}: {state.chain.members} vs {chain.members}",
+                    )
+        for gid, spec in self.deployment.specs.items():
+            if spec.consistency is not Consistency.EWO:
+                continue
+            group = self.deployment.multicast.get(gid)
+            for member in group.members:
+                if member in detected_failed:
+                    self._violate(
+                        "config_consistent",
+                        f"group {gid}: detected-failed {member} still in"
+                        f" multicast group",
+                    )

@@ -176,6 +176,11 @@ class SwiShmemManager:
         if op is SwiShmemOp.SNAPSHOT_ACK:
             self.deployment.failover.handle_snapshot_ack(self, payload)
             return True
+        if op is SwiShmemOp.HEARTBEAT:
+            # This switch is the controller's host: hand the beacon up
+            # the management port.
+            self.deployment.controller.on_heartbeat(payload)
+            return True
         return True  # unknown replication op: drop rather than misroute
 
     # ------------------------------------------------------------------
@@ -401,6 +406,8 @@ class SwiShmemManager:
         history = self.deployment.history
         if history is not None:
             history.complete(ack.token, self.sim.now)
+        for listener in self.deployment.commit_listeners:
+            listener(self.switch.name, spec, key, ack)
 
 
 class SwiShmemDeployment:
@@ -416,6 +423,9 @@ class SwiShmemDeployment:
         clock_skew: float = DEFAULT_CLOCK_SKEW,
         tracer: Tracer = NULL_TRACER,
         record_history: bool = False,
+        detection: str = "heartbeat",
+        heartbeat_period: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -431,6 +441,10 @@ class SwiShmemDeployment:
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()
         self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
+        #: Hooks invoked as ``listener(writer, spec, key, ack)`` whenever
+        #: a strong write commits at its writer — the chaos invariant
+        #: monitors subscribe here to learn what "acked" means.
+        self.commit_listeners: List[Any] = []
         #: Section 9 extension: directory service for partial replication
         #: (None = full replication everywhere, the paper's base design).
         self.directory = None
@@ -448,14 +462,31 @@ class SwiShmemDeployment:
             switch.address_book = self.address_book
             switch.multicast = self.multicast
         # Late imports to avoid a protocols <-> core cycle at module load.
-        from repro.protocols.controller import CentralController
+        from repro.protocols.controller import (
+            DEFAULT_HEARTBEAT_PERIOD,
+            DEFAULT_HEARTBEAT_TIMEOUT,
+            CentralController,
+        )
         from repro.protocols.failover import FailoverCoordinator
 
         self.managers: Dict[str, SwiShmemManager] = {
             switch.name: SwiShmemManager(switch, self) for switch in self.switches
         }
         self.failover = FailoverCoordinator(self)
-        self.controller = CentralController(self)
+        self.controller = CentralController(
+            self,
+            detection=detection,
+            heartbeat_period=(
+                heartbeat_period
+                if heartbeat_period is not None
+                else DEFAULT_HEARTBEAT_PERIOD
+            ),
+            heartbeat_timeout=(
+                heartbeat_timeout
+                if heartbeat_timeout is not None
+                else DEFAULT_HEARTBEAT_TIMEOUT
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Identity helpers

@@ -113,6 +113,12 @@ class SwiShmemOp(enum.Enum):
     Recovery (section 6.3):
       SNAPSHOT_WRITE — snapshot replay toward a recovering switch
       SNAPSHOT_ACK   — recovering switch confirms one replayed entry
+
+    Failure detection (section 6.3):
+      HEARTBEAT      — periodic liveness beacon from every switch toward
+                       the controller's host switch (data-plane packet
+                       generator traffic; loss/partition affects it like
+                       any other packet)
     """
 
     WRITE_REQUEST = "write_request"
@@ -123,6 +129,7 @@ class SwiShmemOp(enum.Enum):
     EWO_SYNC = "ewo_sync"
     SNAPSHOT_WRITE = "snapshot_write"
     SNAPSHOT_ACK = "snapshot_ack"
+    HEARTBEAT = "heartbeat"
 
 
 @dataclass

@@ -135,6 +135,9 @@ class Channel:
         self._tracer = tracer
         #: Time the transmitter is busy until (FIFO serialization).
         self._busy_until = 0.0
+        #: Optional adversarial wrapper (``repro.chaos.nemesis``): consulted
+        #: after the loss decision to delay and/or duplicate the packet.
+        self.nemesis = None
 
     def transmit(self, packet: "Packet") -> None:
         """Queue ``packet`` for delivery to ``dst``.
@@ -159,6 +162,16 @@ class Channel:
                 self.sim.now, "link", self.src.name, "drop", to=self.dst.name, pkt=packet.uid
             )
             return
+        if self.nemesis is not None:
+            extra, duplicate_offsets = self.nemesis.plan(packet, self)
+            for offset in duplicate_offsets:
+                self.sim.schedule_at(
+                    arrival + offset,
+                    self._deliver,
+                    packet.clone(),
+                    label=f"nemesis-dup:{self.src.name}->{self.dst.name}",
+                )
+            arrival += extra
         self.sim.schedule_at(arrival, self._deliver, packet, label=f"link:{self.src.name}->{self.dst.name}")
 
     def _deliver(self, packet: "Packet") -> None:

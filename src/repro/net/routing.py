@@ -61,10 +61,18 @@ def ecmp_hash(packet: Packet, salt: int = 0) -> int:
     changing the salt.
     """
     tup = packet.five_tuple()
-    if tup is None:
-        key = f"{salt}:none:{packet.uid}"
-    else:
+    if tup is not None:
         key = f"{salt}:{tup.as_tuple()}"
+    elif packet.swishmem is not None:
+        # Protocol packets have no five-tuple; hash the replication
+        # "flow" (op, group, destination) instead.  Never hash the uid:
+        # it is a module-global counter, so two otherwise identical runs
+        # in one process would pick different ECMP paths — breaking the
+        # guarantee that a chaos run is a pure function of its seed.
+        sw = packet.swishmem
+        key = f"{salt}:sw:{sw.op.value}:{sw.register_group}:{sw.dst_node}"
+    else:
+        key = f"{salt}:none"
     digest = hashlib.sha1(key.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
 

@@ -20,21 +20,48 @@ switches have failed" and sketches the two phases we implement:
   from the other replicas.
 * SRO — append to the chain in *catch-up* mode (gap-tolerant apply),
   wait a drain delay so in-flight old-chain writes settle, transfer a
-  snapshot from the current read tail, and finally promote the new
-  member to read tail.
+  snapshot from a live chain member, and finally promote the new member
+  to read tail.
 
-Failure detection is modeled as periodic liveness polling with period
-``detect_period``: detection latency is bounded by one period, matching
-a heartbeat-timeout detector without simulating heartbeat packets.
+**Failure detection** (``detection="heartbeat"``, the default) is real:
+every switch's packet generator emits a :class:`Heartbeat` packet each
+``heartbeat_period`` toward the controller's *host switch* — the switch
+whose management port the controller hangs off.  Heartbeats ride the
+data plane, so loss, partitions, and nemesis interference affect them
+like any other packet; a switch whose beacons stop for longer than
+``heartbeat_timeout`` is declared failed.  Detection latency is bounded
+by ``heartbeat_period + heartbeat_timeout`` (one period of beacon
+spacing plus the timeout; the detector sweep adds a quarter period,
+covered by the beacon-spacing term as long as in-network delay stays
+under ~3/4 period).  Because the detector is no longer an oracle, it
+can be *wrong*: a partitioned-but-alive switch is excised (split-brain),
+and its stale in-flight chain updates are rejected by epoch fencing
+(see ``ChainUpdate.epoch``).  When beacons from a suspected switch
+resume, the controller counts a false positive and re-admits it through
+the catch-up + snapshot path.
+
+Two narrow out-of-band assumptions remain, both documented properties
+of a separate management network: configuration pushes (chain
+descriptors, multicast membership) reach live switches directly, and
+the controller notices its *own* host switch dying via the management
+port (it then re-homes to the next live switch).
+
+``detection="oracle"`` restores the seed behaviour — periodic liveness
+polling of the fail-stop flag with period ``detect_period`` — for
+experiments that want detection latency out of the picture.
 Configuration pushes to switch control planes pay ``config_latency``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.net.headers import SwiShmemHeader, SwiShmemOp
+from repro.net.packet import Packet
+from repro.protocols.messages import Heartbeat
 from repro.sim.engine import Process
+from repro.switch.pktgen import PacketGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import SwiShmemDeployment
@@ -42,10 +69,16 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CentralController", "FailureEvent", "RecoveryEvent"]
 
 DEFAULT_DETECT_PERIOD = 500e-6
+#: Heartbeat emission period per switch (heartbeat detection mode).
+DEFAULT_HEARTBEAT_PERIOD = 200e-6
+#: Declare a switch failed after this long without a beacon.
+DEFAULT_HEARTBEAT_TIMEOUT = 600e-6
 #: Latency for the controller to push one config update to one switch.
 DEFAULT_CONFIG_LATENCY = 100e-6
 #: Wait for in-flight old-chain writes to settle before snapshotting.
 DEFAULT_DRAIN_DELAY = 5e-3
+#: Give up a recovery after this many snapshot-transfer attempts.
+MAX_TRANSFER_ATTEMPTS = 3
 
 
 @dataclass
@@ -57,6 +90,9 @@ class FailureEvent:
     detected_at: float
     chains_repaired: List[int] = field(default_factory=list)
     multicast_groups_updated: int = 0
+    #: True when the suspected switch was actually alive at detection
+    #: time (heartbeat loss / partition, not a crash).
+    false_positive: bool = False
 
     @property
     def detection_latency(self) -> float:
@@ -65,12 +101,16 @@ class FailureEvent:
 
 @dataclass
 class RecoveryEvent:
-    """Bookkeeping for one switch recovery."""
+    """Bookkeeping for one switch recovery (or false-positive re-admission)."""
 
     switch: str
     started_at: float
     ewo_rejoined_at: Optional[float] = None
     promoted_at: Dict[int, float] = field(default_factory=dict)
+    #: True when this is a re-admission of a suspected-but-alive switch.
+    readmission: bool = False
+    #: Snapshot-transfer attempts per group (retries via on_failure).
+    transfer_attempts: Dict[int, int] = field(default_factory=dict)
 
     def sro_recovery_time(self, group_id: int) -> Optional[float]:
         promoted = self.promoted_at.get(group_id)
@@ -88,21 +128,64 @@ class CentralController:
         detect_period: float = DEFAULT_DETECT_PERIOD,
         config_latency: float = DEFAULT_CONFIG_LATENCY,
         drain_delay: float = DEFAULT_DRAIN_DELAY,
+        detection: str = "heartbeat",
+        heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
     ) -> None:
+        if detection not in ("heartbeat", "oracle"):
+            raise ValueError(f"unknown detection mode {detection!r}")
         self.deployment = deployment
         self.sim = deployment.sim
         self.detect_period = detect_period
         self.config_latency = config_latency
         self.drain_delay = drain_delay
+        self.detection = detection
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
         self._known_failed: Set[str] = set()
         self._fail_times: Dict[str, float] = {}
         self._known_down_links: Set[frozenset] = set()
         self.link_events = 0
         self.failures: List[FailureEvent] = []
         self.recoveries: List[RecoveryEvent] = []
-        self._detector = Process(
-            self.sim, detect_period, self._poll, name="controller:detect"
-        ).start()
+        #: Recoveries abandoned after MAX_TRANSFER_ATTEMPTS: (group, target, time).
+        self.aborted_recoveries: List[Tuple[int, str, float]] = []
+        #: (group, target) -> recovery generation.  Bumped every time a
+        #: fresh catch-up is initiated, so snapshot events scheduled by a
+        #: superseded recovery (the member was excised and readmitted in
+        #: between) are ignored when they fire.
+        self._recovery_gen: Dict[Tuple[int, str], int] = {}
+        #: Heartbeat bookkeeping (heartbeat mode only).
+        self.host: str = deployment.switch_names[0]
+        self.heartbeats_received = 0
+        self.false_positives = 0
+        self.rehomes = 0
+        self._last_heard: Dict[str, float] = {}
+        #: All deadlines are measured from max(last beacon, this base);
+        #: reset on (re-)homing so everyone gets a fresh grace window.
+        self._deadline_base = self.sim.now
+        self._hb_seq = 0
+        self._hb_generators: Dict[str, PacketGenerator] = {}
+        if detection == "heartbeat":
+            for switch in deployment.switches:
+                self._start_heartbeat_for(switch.name)
+            self._detector = Process(
+                self.sim,
+                heartbeat_period / 4,
+                self._check_liveness,
+                name="controller:detect",
+            ).start()
+        else:
+            self._detector = Process(
+                self.sim, detect_period, self._poll, name="controller:detect"
+            ).start()
+
+    @property
+    def detection_bound(self) -> float:
+        """Worst-case detection latency for a clean fail-stop."""
+        if self.detection == "heartbeat":
+            return self.heartbeat_period + self.heartbeat_timeout
+        return self.detect_period
 
     # ------------------------------------------------------------------
     # Failure detection
@@ -113,13 +196,88 @@ class CentralController:
         self._fail_times.setdefault(switch_name, self.sim.now)
 
     def _poll(self) -> None:
+        """Oracle detection: read the fail-stop flag directly."""
         for switch in self.deployment.switches:
             if switch.failed and switch.name not in self._known_failed:
                 self._on_failure_detected(switch.name)
-            elif not switch.failed and switch.name in self._known_failed:
-                # recovered out-of-band; forget so a second failure is seen
-                pass
         self._poll_links()
+
+    def _start_heartbeat_for(self, name: str) -> None:
+        """(Re)start the heartbeat packet generator on one switch."""
+        old = self._hb_generators.pop(name, None)
+        if old is not None:
+            old.stop()
+        switch = self.deployment.manager(name).switch
+        phase_stream = self.deployment.rng.stream(f"heartbeat-phase:{name}")
+        generator = PacketGenerator(
+            switch,
+            period=self.heartbeat_period,
+            body=lambda s=switch: self._emit_heartbeat(s),
+            name="heartbeat",
+            phase=phase_stream.uniform(0.1, 1.0) * self.heartbeat_period,
+        )
+        generator.start()
+        self._hb_generators[name] = generator
+
+    def _emit_heartbeat(self, switch) -> None:
+        if switch.failed:
+            return
+        self._hb_seq += 1
+        beacon = Heartbeat(origin=switch.name, seq=self._hb_seq, sent_at=self.sim.now)
+        if switch.name == self.host:
+            # The host's beacon reaches the controller over its own
+            # management port — no network hop to lose.
+            self.on_heartbeat(beacon)
+            return
+        packet = Packet(
+            swishmem=SwiShmemHeader(op=SwiShmemOp.HEARTBEAT, dst_node=self.host),
+            swishmem_payload=beacon,
+        )
+        switch.generate_packet(packet, self.host)
+
+    def on_heartbeat(self, beacon: Heartbeat) -> None:
+        """A beacon reached the host switch (dispatched by its manager)."""
+        self.heartbeats_received += 1
+        self._last_heard[beacon.origin] = self.sim.now
+        if beacon.origin in self._known_failed:
+            if self.deployment.manager(beacon.origin).switch.failed:
+                # A stale beacon (delayed in flight) from a switch that
+                # really is down — not evidence of life.
+                return
+            self.false_positives += 1
+            self._readmit(beacon.origin)
+
+    def _check_liveness(self) -> None:
+        """Periodic detector sweep over heartbeat deadlines."""
+        host_switch = self.deployment.manager(self.host).switch
+        if host_switch.failed:
+            # Management port went dark: the host itself died.
+            if self.host not in self._known_failed:
+                self._on_failure_detected(self.host)  # re-homes as a side effect
+            if self.deployment.manager(self.host).switch.failed:
+                self._rehome()  # earlier re-home found no live switch; retry
+        now = self.sim.now
+        for name in self.deployment.switch_names:
+            if name in self._known_failed:
+                continue
+            last = max(self._last_heard.get(name, 0.0), self._deadline_base)
+            if now - last > self.heartbeat_timeout:
+                self._on_failure_detected(name)
+        self._poll_links()
+
+    def _rehome(self) -> None:
+        """Move the controller's management attachment to a live switch."""
+        for name in self.deployment.switch_names:
+            manager = self.deployment.manager(name)
+            if not manager.switch.failed and name not in self._known_failed:
+                self.host = name
+                self.rehomes += 1
+                # Fresh grace window: beacons in flight toward the old
+                # host are gone; don't declare everyone dead at once.
+                self._deadline_base = self.sim.now
+                return
+        # No live switch left — nothing to attach to (detector keeps
+        # sweeping; recovery will re-home via recover_switch).
 
     def _poll_links(self) -> None:
         """Link failures only require re-routing (paper 6.3: 'links …
@@ -141,12 +299,16 @@ class CentralController:
             switch=name,
             failed_at=self._fail_times.get(name, self.sim.now),
             detected_at=self.sim.now,
+            false_positive=not self.deployment.manager(name).switch.failed,
         )
         self.failures.append(event)
         # "First, we regain connectivity by reprogramming the routing of
         # the failed switch neighbors."
         self.deployment.routing.recompute()
-        # SRO: excise the member from every chain it belongs to.
+        # SRO: excise the member from every chain it belongs to.  The
+        # bumped descriptor version doubles as the fencing epoch: updates
+        # sequenced under the old configuration are rejected by members
+        # that installed this one.
         for group_id, chain in list(self.deployment.chains.items()):
             if name in chain:
                 repaired = chain.without(name)
@@ -156,6 +318,12 @@ class CentralController:
         event.multicast_groups_updated = (
             self.deployment.multicast.remove_member_everywhere(name)
         )
+        # Snapshot transfers sourced at the dead switch can't finish —
+        # abandon them now so their on_failure callbacks pick a new
+        # source (the dead CPU would otherwise swallow its own timers).
+        self.deployment.failover.fail_transfers_from(name)
+        if name == self.host and self.detection == "heartbeat":
+            self._rehome()
 
     def _push_chain(self, chain) -> None:
         """Distribute a descriptor to all live switches' control planes."""
@@ -191,9 +359,17 @@ class CentralController:
         switch.recover()
         self._known_failed.discard(name)
         self._fail_times.pop(name, None)
+        self._last_heard[name] = self.sim.now
+        if (
+            self.detection == "heartbeat"
+            and self.deployment.manager(self.host).switch.failed
+        ):
+            self._rehome()
         self.deployment.routing.recompute()
         if wipe_state:
             self._wipe_state(manager)
+        if self.detection == "heartbeat":
+            self._start_heartbeat_for(name)
         # EWO: rejoin multicast groups and restart the sync generators.
         rejoined = False
         for group_id, state in manager.ewo.groups.items():
@@ -202,17 +378,58 @@ class CentralController:
             rejoined = True
         if rejoined:
             event.ewo_rejoined_at = self.sim.now
-        # SRO: append to each chain in catch-up mode, then snapshot.
+        self._rejoin_chains(name, event, wiped=wipe_state)
+        return event
+
+    def _readmit(self, name: str) -> None:
+        """A suspected-but-alive switch proved it is up: bring it back.
+
+        Its data-plane state is intact but it missed every chain update
+        committed while it was excised, so it rejoins through the same
+        catch-up + snapshot path as a recovering switch — minus the wipe
+        and the process restarts.
+        """
+        self._known_failed.discard(name)
+        self._fail_times.pop(name, None)
+        event = RecoveryEvent(
+            switch=name, started_at=self.sim.now, readmission=True
+        )
+        self.recoveries.append(event)
+        self.deployment.routing.recompute()
+        manager = self.deployment.manager(name)
+        rejoined = False
+        for group_id in manager.ewo.groups:
+            group = self.deployment.multicast.get(group_id)
+            if name not in group.members:
+                group.add(name)
+            rejoined = True
+        if rejoined:
+            event.ewo_rejoined_at = self.sim.now
+        self._rejoin_chains(name, event, wiped=False)
+
+    def _rejoin_chains(self, name: str, event: RecoveryEvent, wiped: bool) -> None:
+        """Re-append ``name`` to every chain it replicates, in catch-up
+        mode, and schedule the drain-delayed snapshot transfer."""
+        manager = self.deployment.manager(name)
         for group_id in list(manager.sro.groups):
             chain = self.deployment.chains.get(group_id)
             if chain is None:
                 continue
             if name in chain:
-                # We were never excised (failure undetected) — nothing to do.
-                continue
-            appended = chain.with_appended(name)
+                if len(chain) == 1 or not wiped:
+                    # Sole member (no one to copy from), or an undetected
+                    # failure with state intact — nothing to do.
+                    continue
+                # Undetected failure + wiped state: if we stayed in place
+                # the empty replica would see every next update as a gap
+                # and wedge.  Excise and re-append so it catches up.
+                appended = chain.without(name).with_appended(name)
+            else:
+                appended = chain.with_appended(name)
             manager.sro.set_catching_up(group_id, True)
             self._push_chain(appended)
+            gen = self._recovery_gen.get((group_id, name), 0) + 1
+            self._recovery_gen[(group_id, name)] = gen
             # Let in-flight old-chain writes settle before snapshotting,
             # so the snapshot provably covers every committed write that
             # did not flow through the new member.
@@ -222,9 +439,11 @@ class CentralController:
                 group_id,
                 name,
                 event,
+                1,
+                frozenset(),
+                gen,
                 label="controller:snapshot-start",
             )
-        return event
 
     def _wipe_state(self, manager) -> None:
         for state in manager.sro.groups.values():
@@ -243,22 +462,142 @@ class CentralController:
                 state.sets.clear()
             state._pending_entries.clear()
 
-    def _start_snapshot(self, group_id: int, target: str, event: RecoveryEvent) -> None:
-        chain = self.deployment.chains[group_id]
-        source = chain.read_tail
-        if source == target:
-            # Degenerate single-member chain: nothing to copy.
-            self._promote(group_id, target, event)
+    def _is_full_member(self, group_id: int, name: str) -> bool:
+        """A member that provably holds every committed write: live and
+        not itself in catch-up."""
+        manager = self.deployment.manager(name)
+        if manager.switch.failed:
+            return False
+        state = manager.sro.groups.get(group_id)
+        return state is not None and not state.catching_up
+
+    def _abort_recovery(self, group_id: int, target: str, attempt: int) -> None:
+        self.aborted_recoveries.append((group_id, target, self.sim.now))
+        self.deployment.tracer.emit(
+            self.sim.now,
+            "controller",
+            target,
+            "recovery-abort",
+            group=group_id,
+            attempts=attempt,
+        )
+
+    def _start_snapshot(
+        self,
+        group_id: int,
+        target: str,
+        event: RecoveryEvent,
+        attempt: int = 1,
+        exclude: frozenset = frozenset(),
+        gen: Optional[int] = None,
+    ) -> None:
+        if (
+            gen is not None
+            and gen != self._recovery_gen.get((group_id, target))
+        ):
+            # Scheduled by a recovery that has since been superseded
+            # (the target was excised and readmitted in between); the
+            # newer recovery scheduled its own snapshot.
             return
+        chain = self.deployment.chains[group_id]
+        if target not in chain or self.deployment.manager(target).switch.failed:
+            # The target failed again (or was excised) mid-recovery; a
+            # future recover_switch will restart the whole dance.
+            return
+        candidates = [
+            member
+            for member in chain.members
+            if member != target
+            and not self.deployment.manager(member).switch.failed
+        ]
+        if not candidates:
+            # Degenerate chain: the target is the only live member.
+            self._promote(group_id, target, event, gen)
+            return
+        usable = [member for member in candidates if member not in exclude]
+        if not usable:
+            usable = candidates  # everyone failed us once; try again anyway
+        # Only *full* members may serve the snapshot: a replica that is
+        # itself catching up can predate writes committed while it was
+        # excised, and copying from it would silently launder those
+        # committed writes out of the chain.
+        full = [member for member in usable if self._is_full_member(group_id, member)]
+        if not full:
+            full = [m for m in candidates if self._is_full_member(group_id, m)]
+        if not full:
+            # Every live candidate is still catching up.  Defer until
+            # one of their own transfers completes; abort (logged) if
+            # that never happens.
+            if attempt >= MAX_TRANSFER_ATTEMPTS:
+                self._abort_recovery(group_id, target, attempt)
+                return
+            self.sim.schedule(
+                self.drain_delay,
+                self._start_snapshot,
+                group_id,
+                target,
+                event,
+                attempt + 1,
+                exclude,
+                gen,
+                label="controller:snapshot-defer",
+            )
+            return
+        # Prefer the read tail — it serves reads, so it provably holds
+        # every committed value.
+        source = chain.read_tail if chain.read_tail in full else full[0]
+        event.transfer_attempts[group_id] = attempt
         self.deployment.failover.start_transfer(
             group_id,
             source=source,
             target=target,
-            on_complete=lambda: self._promote(group_id, target, event),
+            on_complete=lambda: self._promote(group_id, target, event, gen),
+            on_failure=lambda transfer: self._on_transfer_failed(
+                group_id, target, event, attempt, exclude, gen, transfer
+            ),
         )
 
-    def _promote(self, group_id: int, target: str, event: RecoveryEvent) -> None:
+    def _on_transfer_failed(
+        self,
+        group_id: int,
+        target: str,
+        event: RecoveryEvent,
+        attempt: int,
+        exclude: frozenset,
+        gen: Optional[int],
+        transfer,
+    ) -> None:
+        """A snapshot transfer died (source failed / retry budget spent)."""
+        if self.deployment.manager(target).switch.failed:
+            return  # the target itself died; nothing to salvage here
+        if attempt >= MAX_TRANSFER_ATTEMPTS:
+            self._abort_recovery(group_id, target, attempt)
+            return
+        self.sim.schedule(
+            self.config_latency,
+            self._start_snapshot,
+            group_id,
+            target,
+            event,
+            attempt + 1,
+            frozenset(exclude | {transfer.source}),
+            gen,
+            label="controller:snapshot-retry",
+        )
+
+    def _promote(
+        self,
+        group_id: int,
+        target: str,
+        event: RecoveryEvent,
+        gen: Optional[int] = None,
+    ) -> None:
         """Catch-up finished: the new member replaces the read tail."""
+        if (
+            gen is not None
+            and gen != self._recovery_gen.get((group_id, target))
+        ):
+            return  # transfer belonged to a superseded recovery
         chain = self.deployment.chains[group_id]
         if target in chain and chain.read_tail != target:
             self._push_chain(chain.promoted())
@@ -276,6 +615,8 @@ class CentralController:
     # ------------------------------------------------------------------
     def stop(self) -> None:
         self._detector.stop()
+        for generator in self._hb_generators.values():
+            generator.stop()
 
     def last_failure(self) -> Optional[FailureEvent]:
         return self.failures[-1] if self.failures else None

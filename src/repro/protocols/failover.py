@@ -26,6 +26,7 @@ reads."
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
@@ -43,6 +44,8 @@ SNAPSHOT_RETRY_TIMEOUT = 2e-3
 #: Abandon a transfer after this many full retry rounds.
 MAX_SNAPSHOT_ROUNDS = 20
 
+_transfer_ids = itertools.count(1)
+
 
 @dataclass
 class SnapshotTransfer:
@@ -51,10 +54,20 @@ class SnapshotTransfer:
     group_id: int
     source: str
     target: str
+    #: Globally unique id echoed on every SnapshotWrite/SnapshotAck of
+    #: this transfer.  Transfers are keyed ``(group_id, target)``, so a
+    #: superseded transfer's stray acks carry a stale id and are dropped
+    #: instead of completing the replacement early.
+    transfer_id: int = 0
     entries: Dict[Any, Tuple[Any, int, int]] = field(default_factory=dict)
     unacked: Set[Any] = field(default_factory=set)
     rounds: int = 0
     on_complete: Optional[Callable[[], None]] = None
+    #: Invoked with the transfer when it is abandoned (source died or the
+    #: retry budget ran out) so the controller can restart the recovery
+    #: from another live chain member instead of stranding the target in
+    #: catch-up mode forever.
+    on_failure: Optional[Callable[["SnapshotTransfer"], None]] = None
     done: bool = False
     failed: bool = False
 
@@ -81,10 +94,16 @@ class FailoverCoordinator:
         source: str,
         target: str,
         on_complete: Optional[Callable[[], None]] = None,
+        on_failure: Optional[Callable[[SnapshotTransfer], None]] = None,
     ) -> SnapshotTransfer:
         """Snapshot ``group_id`` on ``source`` and replay it to ``target``."""
         transfer = SnapshotTransfer(
-            group_id=group_id, source=source, target=target, on_complete=on_complete
+            group_id=group_id,
+            source=source,
+            target=target,
+            transfer_id=next(_transfer_ids),
+            on_complete=on_complete,
+            on_failure=on_failure,
         )
         self._transfers[(group_id, target)] = transfer
         source_manager = self.deployment.manager(source)
@@ -133,6 +152,7 @@ class FailoverCoordinator:
                 source=transfer.source,
                 key_bytes=spec.key_bytes,
                 value_bytes=spec.value_bytes,
+                transfer_id=transfer.transfer_id,
             )
             packet = Packet(
                 swishmem=SwiShmemHeader(
@@ -174,6 +194,7 @@ class FailoverCoordinator:
             seq=message.seq,
             source=manager.switch.name,
             key_bytes=message.key_bytes,
+            transfer_id=message.transfer_id,
         )
         packet = Packet(
             swishmem=SwiShmemHeader(
@@ -188,6 +209,10 @@ class FailoverCoordinator:
     def handle_snapshot_ack(self, manager: "SwiShmemManager", message: SnapshotAck) -> None:
         transfer = self._transfers.get((message.group, message.source))
         if transfer is None or transfer.done or transfer.failed:
+            return
+        if message.transfer_id != transfer.transfer_id:
+            # Stray ack from a superseded transfer to the same target —
+            # acknowledging *its* entries says nothing about ours.
             return
         transfer.unacked.discard(message.key)
         if not transfer.unacked:
@@ -207,6 +232,21 @@ class FailoverCoordinator:
             return
         transfer.failed = True
         self.transfers_failed += 1
+        if transfer.on_failure is not None:
+            transfer.on_failure(transfer)
+
+    def fail_transfers_from(self, source: str) -> None:
+        """Abandon every live transfer sourced at ``source``.
+
+        Called by the controller when it declares ``source`` failed.
+        This matters because a dead switch's control CPU silently drops
+        submitted ops and armed timers — without this hook a transfer
+        whose source died between scheduling and execution would strand
+        its target in catch-up mode with no failure callback.
+        """
+        for transfer in list(self._transfers.values()):
+            if transfer.source == source and not transfer.done and not transfer.failed:
+                self._fail_transfer(transfer)
 
     def transfer_for(self, group_id: int, target: str) -> Optional[SnapshotTransfer]:
         return self._transfers.get((group_id, target))

@@ -133,6 +133,7 @@ class SroStats:
         "chain_updates_seen",
         "duplicate_updates",
         "out_of_order_drops",
+        "fenced_updates",
         "acks_seen",
         "write_latency_sum",
         "write_latency_samples",
@@ -525,6 +526,7 @@ class SroEngine:
             chain=tuple(state.chain.members),
             key_bytes=request.key_bytes,
             value_bytes=request.value_bytes,
+            epoch=state.chain.version,
         )
         self._process_chain_update(update)
 
@@ -548,6 +550,14 @@ class SroEngine:
             return
         stats = state.stats
         stats.chain_updates_seen += 1
+        if update.epoch < state.chain.version:
+            # Fencing: this update was sequenced by a head operating on a
+            # configuration the controller has since replaced (e.g. a
+            # suspected-but-alive head after a false positive).  Reject it
+            # outright — the writer's retry will go through the current
+            # head under the current epoch.
+            stats.fenced_updates += 1
+            return
         slot = update.slot
         applied = state.pending.applied_seq(slot)
         is_tail = update.chain and update.chain[-1] == self.switch.name

@@ -13,8 +13,19 @@ def fail_and_note(deployment, name):
 
 
 class TestFailureDetection:
-    def test_controller_detects_within_one_period(self, make_deployment):
+    def test_controller_detects_within_bound(self, make_deployment):
+        """Heartbeat detection latency is bounded by period + timeout."""
         dep, _, _ = make_deployment(3)
+        dep.sim.run(until=0.001)
+        fail_and_note(dep, "s1")
+        dep.sim.run(until=0.01)
+        event = dep.controller.last_failure()
+        assert event is not None and event.switch == "s1"
+        assert not event.false_positive
+        assert event.detection_latency <= dep.controller.detection_bound + 1e-9
+
+    def test_oracle_mode_detects_within_one_period(self, make_deployment):
+        dep, _, _ = make_deployment(3, detection="oracle")
         dep.sim.run(until=0.001)
         fail_and_note(dep, "s1")
         dep.sim.run(until=0.01)
