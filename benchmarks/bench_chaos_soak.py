@@ -29,23 +29,25 @@ Run standalone::
 from __future__ import annotations
 
 import hashlib
+import os
 import sys
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 import pytest
 
-sys.path.insert(0, ".")
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import emit_json, fmt_us, print_header, print_table
 
 from repro.chaos import FaultInjector, InvariantSuite, Nemesis
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec
 from repro.net.topology import Topology, build_full_mesh
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.switch.pisa import PisaSwitch
-
-from benchmarks.common import fmt_us, print_header, print_table
 
 #: Protected from crashes: the workload writer (also the controller's
 #: initial host).  Partitions may still isolate it — that is the
@@ -74,12 +76,15 @@ class SoakResult:
 
 
 def run_chaos_soak(
-    seed: int, duration: float = 0.12, switches: int = 5
+    seed: int,
+    duration: float = 0.12,
+    switches: int = 5,
+    metrics: MetricsRegistry = NULL_REGISTRY,
 ) -> SoakResult:
     sim = Simulator()
     topo = Topology(sim, SeededRng(seed))
     nodes = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), switches)
-    dep = SwiShmemDeployment(sim, topo, nodes, sync_period=1e-3)
+    dep = SwiShmemDeployment(sim, topo, nodes, sync_period=1e-3, metrics=metrics)
     sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=256))
     ctr = dep.declare(RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER))
 
@@ -277,6 +282,10 @@ def main(argv: List[str]) -> int:
         "--seeds", type=int, nargs="+", default=[1, 2, 3],
         help="soak seeds (default: 1 2 3)",
     )
+    parser.add_argument(
+        "--metrics-jsonl", metavar="PATH", default=None,
+        help="also write the instrumented replay's metrics snapshot as JSONL",
+    )
     args = parser.parse_args(argv)
     duration = 0.08 if args.quick else 0.12
     results = run_experiment(tuple(args.seeds), duration=duration)
@@ -288,17 +297,53 @@ def main(argv: List[str]) -> int:
         except AssertionError as exc:
             failures += 1
             print(f"FAIL: {exc}")
-    # determinism: replay the first seed and compare digests
-    replay = run_chaos_soak(args.seeds[0], duration=duration)
+    # Determinism: replay the first seed and compare digests.  The replay
+    # runs with live metrics enabled, which doubles as proof that the
+    # telemetry layer never perturbs simulated behaviour.
+    registry = MetricsRegistry()
+    replay = run_chaos_soak(args.seeds[0], duration=duration, metrics=registry)
     if replay.digest != results[0].digest:
         failures += 1
         print(
-            f"FAIL: seed {args.seeds[0]} replay digest {replay.digest[:12]} "
-            f"!= original {results[0].digest[:12]}"
+            f"FAIL: seed {args.seeds[0]} instrumented replay digest "
+            f"{replay.digest[:12]} != original {results[0].digest[:12]}"
         )
     else:
-        print(f"determinism: seed {args.seeds[0]} replay digest matches "
-              f"({replay.digest[:12]})")
+        print(f"determinism: seed {args.seeds[0]} instrumented replay digest "
+              f"matches ({replay.digest[:12]})")
+    # Cross-check the metrics snapshot against the replay's verdicts.
+    detection_hist = registry.get(
+        "histogram", "controller.detection_latency_seconds", "controller"
+    )
+    hist_count = detection_hist.count if detection_hist is not None else 0
+    if hist_count != len(replay.detection_latencies):
+        failures += 1
+        print(
+            f"FAIL: detection-latency histogram has {hist_count} samples, "
+            f"replay saw {len(replay.detection_latencies)} real failures"
+        )
+    lost_write_violations = registry.value(
+        "counter", "invariant.no_lost_write.violations", "invariants"
+    )
+    replay_lost = sum(
+        1 for v in replay.invariant_violations if "no_lost_write" in v
+    )
+    if lost_write_violations != replay_lost:
+        failures += 1
+        print(
+            f"FAIL: metrics report {lost_write_violations} no-lost-write "
+            f"violations but the invariant suite recorded {replay_lost}"
+        )
+    if args.metrics_jsonl:
+        written = registry.write_jsonl(args.metrics_jsonl)
+        print(f"metrics: wrote {written} instruments to {args.metrics_jsonl}")
+    emit_json(
+        "F3",
+        "chaos soak: seeded faults + nemesis vs SRO and EWO",
+        results,
+        registry=registry,
+        extra={"instrumented_seed": args.seeds[0], "duration": duration},
+    )
     print("RESULT:", "FAIL" if failures else "PASS")
     return 1 if failures else 0
 

@@ -17,13 +17,16 @@ measures committed-write throughput for
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 from typing import List
 
 import pytest
 
-sys.path.insert(0, ".")
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import emit_json, fmt_rate, print_header, print_table
 
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec
@@ -31,8 +34,6 @@ from repro.net.topology import Topology, build_full_mesh
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.switch.pisa import PisaSwitch
-
-from benchmarks.common import fmt_rate, print_header, print_table
 
 DURATION = 50e-3
 
@@ -113,6 +114,11 @@ def report(results: List[ThroughputResult]) -> None:
             for r in results
         ],
     )
+    emit_json(
+        "P5",
+        "SRO write-throughput ceiling vs control-plane speed (and EWO contrast)",
+        results,
+    )
 
 
 @pytest.mark.benchmark(group="experiment")
@@ -141,3 +147,7 @@ def test_sro_throughput_ceiling_shape(benchmark):
 @pytest.mark.benchmark(group="sro")
 def test_benchmark_sro_saturated(benchmark):
     benchmark.pedantic(lambda: run_point("sro", 80_000), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    report(run_experiment())

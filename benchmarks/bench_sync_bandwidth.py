@@ -16,23 +16,25 @@ Two parts:
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 from typing import List
 
 import pytest
 
-sys.path.insert(0, ".")
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import emit_json, fmt_pct, print_header, print_table
 
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec
 from repro.net.headers import PROTO_SWISHMEM
 from repro.net.topology import Topology, build_full_mesh
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.switch.pisa import PisaSwitch
-
-from benchmarks.common import fmt_pct, print_header, print_table
 
 SWITCH_BANDWIDTH_BPS = 5e12  # 5 Tbps (paper's figure)
 
@@ -64,11 +66,18 @@ def analytic_sweep() -> List[AnalyticRow]:
     return rows
 
 
-def measured_sync(keys: int = 200, period: float = 1e-3, duration: float = 0.05) -> MeasuredRow:
+def measured_sync(
+    keys: int = 200,
+    period: float = 1e-3,
+    duration: float = 0.05,
+    metrics: MetricsRegistry = NULL_REGISTRY,
+) -> MeasuredRow:
     sim = Simulator()
     topo = Topology(sim, SeededRng(51))
     switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
-    deployment = SwiShmemDeployment(sim, topo, switches, sync_period=period)
+    deployment = SwiShmemDeployment(
+        sim, topo, switches, sync_period=period, metrics=metrics
+    )
     spec = deployment.declare(
         RegisterSpec(
             "state", Consistency.EWO, ewo_mode=EwoMode.COUNTER,
@@ -90,14 +99,17 @@ def measured_sync(keys: int = 200, period: float = 1e-3, duration: float = 0.05)
 
 
 def run_experiment():
+    # One shared registry across the measured runs, so the sidecar's
+    # ewo.sync_bytes counters can be cross-checked against the wire math.
+    registry = MetricsRegistry()
     return analytic_sweep(), [
-        measured_sync(keys=100, period=1e-3),
-        measured_sync(keys=200, period=1e-3),
-        measured_sync(keys=200, period=2e-3),
-    ]
+        measured_sync(keys=100, period=1e-3, metrics=registry),
+        measured_sync(keys=200, period=1e-3, metrics=registry),
+        measured_sync(keys=200, period=2e-3, metrics=registry),
+    ], registry
 
 
-def report(analytic, measured):
+def report(analytic, measured, registry=None):
     print_header(
         "C2",
         "Section 6.2: periodic full-state sync bandwidth",
@@ -123,12 +135,20 @@ def report(analytic, measured):
             for r in measured
         ],
     )
+    emit_json(
+        "C2",
+        "Section 6.2: periodic full-state sync bandwidth",
+        {"analytic": analytic, "measured": measured},
+        registry=registry,
+    )
 
 
 @pytest.mark.benchmark(group="experiment")
 def test_sync_bandwidth_shape_matches_paper(benchmark):
-    analytic, measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report(analytic, measured)
+    analytic, measured, registry = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    report(analytic, measured, registry)
     # The paper's headline cell: 10 MB @ 1 ms ~ 1.6% (the paper rounds to ~1%).
     headline = next(r for r in analytic if r.state_mb == 10.0 and r.period_ms == 1.0)
     assert 0.005 < headline.fraction < 0.02
@@ -147,3 +167,7 @@ def test_sync_bandwidth_shape_matches_paper(benchmark):
 @pytest.mark.benchmark(group="sync-bandwidth")
 def test_benchmark_sync_bandwidth(benchmark):
     benchmark.pedantic(lambda: measured_sync(keys=100), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    report(*run_experiment())

@@ -11,18 +11,39 @@ paper).  Conventions:
   pytest-benchmark;
 * results are printed as aligned tables via :func:`print_table` so
   ``pytest benchmarks/ --benchmark-only -s`` regenerates every table
-  the repo reports in EXPERIMENTS.md.
+  the repo reports in EXPERIMENTS.md;
+* benchmarks additionally call :func:`emit_json` so every run leaves a
+  machine-readable ``BENCH_<id>.json`` sidecar (results + an optional
+  metrics-registry snapshot) in ``bench_results/`` — the artifacts CI
+  uploads to track the perf trajectory.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-sys.path.insert(0, ".")  # so `tests.nfworld` resolves when run from repo root
+# Resolve imports relative to this file rather than the caller's CWD, so
+# `repro` and `tests.nfworld` import no matter where pytest/python runs.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
 
-__all__ = ["print_table", "print_header", "fmt_us", "fmt_rate", "fmt_pct"]
+__all__ = [
+    "print_table",
+    "print_header",
+    "fmt_us",
+    "fmt_rate",
+    "fmt_pct",
+    "emit_json",
+    "to_jsonable",
+    "bench_output_dir",
+]
 
 
 def print_header(experiment_id: str, title: str, paper_claim: str) -> None:
@@ -64,3 +85,68 @@ def fmt_rate(per_second: float) -> str:
 
 def fmt_pct(fraction: float) -> str:
     return f"{fraction * 100:.2f}%"
+
+
+# ----------------------------------------------------------------------
+# Machine-readable output
+# ----------------------------------------------------------------------
+
+
+def bench_output_dir() -> str:
+    """Where sidecars go: $SWISHMEM_BENCH_DIR or <repo>/bench_results."""
+    return os.environ.get(
+        "SWISHMEM_BENCH_DIR", os.path.join(_REPO_ROOT, "bench_results")
+    )
+
+
+def to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of benchmark result objects to JSON types.
+
+    Handles dataclasses, mappings, sequences, and objects exposing
+    ``as_dict``; anything else irreducible falls back to ``str`` so a
+    sidecar write never fails on an exotic result field.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return to_jsonable(as_dict())
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    return str(value)
+
+
+def emit_json(
+    experiment_id: str,
+    title: str,
+    results: Any,
+    registry: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<experiment_id>.json`` and return its path.
+
+    ``registry`` is an optional :class:`repro.obs.MetricsRegistry`
+    whose snapshot is embedded under ``"metrics"``.
+    """
+    directory = directory if directory is not None else bench_output_dir()
+    os.makedirs(directory, exist_ok=True)
+    payload: Dict[str, Any] = {
+        "experiment": experiment_id,
+        "title": title,
+        "results": to_jsonable(results),
+    }
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if extra:
+        payload.update(to_jsonable(extra))
+    path = os.path.join(directory, f"BENCH_{experiment_id}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[{experiment_id}] wrote {path}")
+    return path

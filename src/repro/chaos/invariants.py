@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.registers import Consistency, EwoMode
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.engine import Process
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -102,10 +103,24 @@ class InvariantSuite:
         self._fault_picture: Optional[Tuple] = None
         self._process: Optional[Process] = None
         deployment.commit_listeners.append(self._on_commit)
+        # Live telemetry mirror of report.checks / violations, so a
+        # metrics snapshot can be cross-checked against the suite's
+        # verdicts without holding the report object.
+        metrics = getattr(deployment, "metrics", NULL_REGISTRY)
+        self._m_commits = metrics.counter("invariant.commits_observed", "invariants")
+        self._m_checks = {
+            monitor: metrics.counter(f"invariant.{monitor}.checks", "invariants")
+            for monitor in self.report.checks
+        }
+        self._m_violations = {
+            monitor: metrics.counter(f"invariant.{monitor}.violations", "invariants")
+            for monitor in self.report.checks
+        }
 
     # ------------------------------------------------------------------
     def _on_commit(self, writer: str, spec, key: Any, ack) -> None:
         self.commit_times.append(self.sim.now)
+        self._m_commits.inc()
         gid = spec.group_id
         current = self._commits.get((gid, key))
         if current is None or ack.seq >= current[1]:
@@ -144,6 +159,7 @@ class InvariantSuite:
         self.report.violations.append(
             Violation(at=self.sim.now, monitor=monitor, detail=detail)
         )
+        self._m_violations[monitor].inc()
 
     def _full_members(self, group_id: int):
         """Live, non-catching-up members of the group's current chain —
@@ -167,6 +183,7 @@ class InvariantSuite:
     # ------------------------------------------------------------------
     def _check_no_lost_write(self, final: bool = False) -> None:
         self.report.checks["no_lost_write"] += 1
+        self._m_checks["no_lost_write"].inc()
         for (gid, slot), seq in self._slot_max.items():
             for name, state in self._full_members(gid):
                 applied = state.pending.applied_seq(slot)
@@ -208,6 +225,7 @@ class InvariantSuite:
 
     def _check_counters(self) -> None:
         self.report.checks["counter_monotonic"] += 1
+        self._m_checks["counter_monotonic"].inc()
         picture = self._current_fault_picture()
         rebaseline = picture != self._fault_picture
         self._fault_picture = picture
@@ -261,6 +279,7 @@ class InvariantSuite:
     # ------------------------------------------------------------------
     def _check_config(self) -> None:
         self.report.checks["config_consistent"] += 1
+        self._m_checks["config_consistent"].inc()
         controller = self.deployment.controller
         detected_failed = set(controller._known_failed)
         for gid, chain in self.deployment.chains.items():

@@ -43,6 +43,7 @@ from repro.net.multicast import MulticastRegistry
 from repro.net.packet import Packet
 from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.ewo import EwoEngine
 from repro.protocols.messages import WriteToken
 from repro.protocols.sro import SroEngine
@@ -136,6 +137,10 @@ class SwiShmemManager:
         )
         self.sro = SroEngine(self)
         self.ewo = EwoEngine(self, sync_period=deployment.sync_period)
+        metrics = deployment.metrics
+        self._metrics_on = metrics.enabled
+        self._m_reads = metrics.counter("state.reads", switch.name)
+        self._m_writes = metrics.counter("state.writes", switch.name)
         self._handles: Dict[int, RegisterHandle] = {}
         self._sync_generators: Dict[int, PacketGenerator] = {}
         self._ctx: Optional[PacketContext] = None
@@ -304,7 +309,18 @@ class SwiShmemManager:
     # ------------------------------------------------------------------
     # Register access mediation (called by RegisterHandle)
     # ------------------------------------------------------------------
+    def _note_state_op(self, counter: Any) -> None:
+        """Account one register operation: the per-switch counter plus,
+        in INT mode, the ``int_state_ops`` metadata the switch stamps
+        into this hop's telemetry record."""
+        if self._metrics_on:
+            counter.inc()
+        if self.switch.int_enabled and self._ctx is not None:
+            meta = self._ctx.packet.meta
+            meta["int_state_ops"] = meta.get("int_state_ops", 0) + 1
+
     def register_read(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
+        self._note_state_op(self._m_reads)
         packet = self._ctx.packet if self._ctx is not None else None
         if spec.consistency is Consistency.EWO:
             value = self.ewo.read(spec, key, default)
@@ -318,6 +334,7 @@ class SwiShmemManager:
         return value
 
     def register_write(self, spec: RegisterSpec, key: Any, value: Any) -> None:
+        self._note_state_op(self._m_writes)
         if spec.consistency is Consistency.EWO:
             self.ewo.write(spec, key, value)
             history = self.deployment.history
@@ -342,6 +359,7 @@ class SwiShmemManager:
         """
         from repro.core.registers import FetchAdd
 
+        self._note_state_op(self._m_writes)
         if spec.consistency is Consistency.EWO:
             raise TypeError(
                 f"fetch_add targets strong registers; use increment() on the "
@@ -353,6 +371,7 @@ class SwiShmemManager:
         self._ctx.write_set.append((spec, key, FetchAdd(amount)))
 
     def register_increment(self, spec: RegisterSpec, key: Any, amount: int) -> int:
+        self._note_state_op(self._m_writes)
         if spec.consistency is not Consistency.EWO:
             raise TypeError(
                 f"increment() requires an EWO counter group; {spec.name!r} is "
@@ -367,6 +386,7 @@ class SwiShmemManager:
         return value
 
     def register_set_add(self, spec: RegisterSpec, key: Any, element: Any) -> None:
+        self._note_state_op(self._m_writes)
         self.ewo.set_add(spec, key, element)
         history = self.deployment.history
         if history is not None:
@@ -375,6 +395,7 @@ class SwiShmemManager:
             )
 
     def register_set_remove(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        self._note_state_op(self._m_writes)
         removed = self.ewo.set_remove(spec, key, element)
         history = self.deployment.history
         if history is not None and removed:
@@ -426,6 +447,7 @@ class SwiShmemDeployment:
         detection: str = "heartbeat",
         heartbeat_period: Optional[float] = None,
         heartbeat_timeout: Optional[float] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -437,6 +459,11 @@ class SwiShmemDeployment:
         self.sync_period = sync_period
         self.clock_skew = clock_skew
         self.tracer = tracer
+        #: Live-telemetry registry (repro.obs).  Must be set before the
+        #: managers are built: every engine binds its instruments at
+        #: construction time.  Switches and links were constructed by the
+        #: caller, so they are re-bound here.
+        self.metrics = metrics
         self.address_book = address_book if address_book is not None else AddressBook()
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()
@@ -461,6 +488,11 @@ class SwiShmemDeployment:
             switch.routing = self.routing
             switch.address_book = self.address_book
             switch.multicast = self.multicast
+        if metrics.enabled:
+            for switch in self.switches:
+                switch.bind_metrics(metrics)
+            for link in self.topo.links:
+                link.bind_metrics(metrics)
         # Late imports to avoid a protocols <-> core cycle at module load.
         from repro.protocols.controller import (
             DEFAULT_HEARTBEAT_PERIOD,
@@ -580,6 +612,12 @@ class SwiShmemDeployment:
     # ------------------------------------------------------------------
     # Experiment conveniences
     # ------------------------------------------------------------------
+    def enable_int(self, max_hops: int = 16) -> None:
+        """Turn on INT hop stamping at every switch (repro.obs.inttel)."""
+        for switch in self.switches:
+            switch.int_enabled = True
+            switch.int_max_hops = max_hops
+
     def fail_switch(self, name: str) -> None:
         """Fail-stop a switch (the controller will detect it)."""
         self.topo.fail_node(name)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -138,6 +139,21 @@ class Channel:
         #: Optional adversarial wrapper (``repro.chaos.nemesis``): consulted
         #: after the loss decision to delay and/or duplicate the packet.
         self.nemesis = None
+        self.bind_metrics(NULL_REGISTRY)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """(Re)bind utilization instruments; the deployment calls this.
+
+        The ``node`` label is the directed channel, ``src->dst``.
+        ``link.busy_seconds`` accumulates transmitter occupancy, so
+        utilization over a window is ``busy_seconds / window``.
+        """
+        channel = f"{self.src.name}->{self.dst.name}"
+        self._metrics_on = metrics.enabled
+        self._m_packets = metrics.counter("link.packets_sent", channel)
+        self._m_bytes = metrics.counter("link.bytes_sent", channel)
+        self._m_drops = metrics.counter("link.drops", channel)
+        self._m_busy = metrics.counter("link.busy_seconds", channel)
 
     def transmit(self, packet: "Packet") -> None:
         """Queue ``packet`` for delivery to ``dst``.
@@ -149,15 +165,24 @@ class Channel:
         """
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_size
+        if self._metrics_on:
+            self._m_packets.inc()
+            self._m_bytes.inc(packet.wire_size)
         if not self.up:
             self.stats.packets_dropped += 1
+            if self._metrics_on:
+                self._m_drops.inc()
             return
         start = max(self.sim.now, self._busy_until)
         serialization = packet.wire_size * 8 / self.bandwidth_bps
         self._busy_until = start + serialization
         arrival = self._busy_until + self.latency
+        if self._metrics_on:
+            self._m_busy.inc(serialization)
         if self.loss_rate > 0.0 and self._loss_stream.random() < self.loss_rate:
             self.stats.packets_dropped += 1
+            if self._metrics_on:
+                self._m_drops.inc()
             self._tracer.emit(
                 self.sim.now, "link", self.src.name, "drop", to=self.dst.name, pkt=packet.uid
             )
@@ -177,6 +202,8 @@ class Channel:
     def _deliver(self, packet: "Packet") -> None:
         if not self.up:
             self.stats.packets_dropped += 1
+            if self._metrics_on:
+                self._m_drops.inc()
             return
         self.stats.packets_delivered += 1
         self.dst.deliver(packet, from_node=self.src.name)
@@ -203,6 +230,11 @@ class Link:
         self.ba = Channel(sim, b, a, latency, bandwidth_bps, loss_rate, rng, tracer)
         a.attach_link(self, b.name)
         b.attach_link(self, a.name)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Bind utilization instruments for both directions."""
+        self.ab.bind_metrics(metrics)
+        self.ba.bind_metrics(metrics)
 
     @property
     def up(self) -> bool:

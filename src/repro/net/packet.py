@@ -60,6 +60,10 @@ class Packet:
     meta: Dict[str, Any] = field(default_factory=dict)
     #: Time the packet was first created (set by the injector).
     created_at: float = 0.0
+    #: INT telemetry stack (``repro.obs.inttel.IntTelemetry``).  Unlike
+    #: ``meta`` this survives hops — it is an on-wire header stack that
+    #: INT-enabled switches append to and the sink strips.
+    int_data: Any = None
 
     @property
     def wire_size(self) -> int:
@@ -70,6 +74,8 @@ class Packet:
                 size += header.wire_size
         if self.swishmem_payload is not None:
             size += getattr(self.swishmem_payload, "wire_size", 0)
+        if self.int_data is not None:
+            size += self.int_data.wire_size
         return size
 
     def five_tuple(self) -> Optional[FiveTuple]:

@@ -1,0 +1,54 @@
+"""Live observability: metrics registry, INT telemetry, sim profiler.
+
+See docs/OBSERVABILITY.md for the full guide.  Quick start::
+
+    from repro.obs import MetricsRegistry, render_registry
+
+    registry = MetricsRegistry()
+    deployment = SwiShmemDeployment(sim, topo, nodes, metrics=registry)
+    sim.run(until=0.1)
+    print(render_registry(registry))
+    registry.write_jsonl("metrics.jsonl")
+"""
+
+from repro.obs.dashboard import render, render_registry
+from repro.obs.inttel import (
+    INT_HOP_BYTES,
+    INT_SHIM_BYTES,
+    IntHopRecord,
+    IntSink,
+    IntTelemetry,
+    decode_path,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BOUNDS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    load_jsonl,
+)
+from repro.obs.profiler import HandlerStats, SimProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BOUNDS",
+    "load_jsonl",
+    "render",
+    "render_registry",
+    "IntHopRecord",
+    "IntTelemetry",
+    "IntSink",
+    "decode_path",
+    "INT_SHIM_BYTES",
+    "INT_HOP_BYTES",
+    "HandlerStats",
+    "SimProfiler",
+]

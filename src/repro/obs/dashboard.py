@@ -1,0 +1,82 @@
+"""Text dashboard: render a registry snapshot for terminals and logs.
+
+Benchmarks and the chaos soak call :func:`render` at the end of a run
+to show live counters alongside their usual tables.  The renderer works
+from the JSON-ready snapshot (not live instruments), so it can also
+replay a snapshot loaded from a ``BENCH_*.json`` sidecar or a JSONL
+export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render", "render_registry"]
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.6g}"
+    return f"{int(value):,}"
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.3f}us"
+
+
+def render(snapshot: Dict[str, List[Dict[str, Any]]], title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as a text dashboard."""
+    width = 78
+    lines = ["=" * width, f"  {title}", "=" * width]
+
+    counters = snapshot.get("counters", [])
+    if counters:
+        lines.append(f"  {'counter':<44} {'node':<16} {'value':>14}")
+        lines.append("  " + "-" * (width - 2))
+        for record in counters:
+            lines.append(
+                f"  {record['name']:<44.44} {record['node']:<16.16} "
+                f"{_fmt_value(record['value']):>14}"
+            )
+
+    gauges = snapshot.get("gauges", [])
+    if gauges:
+        lines.append("")
+        lines.append(f"  {'gauge':<44} {'node':<16} {'value':>7} {'max':>6}")
+        lines.append("  " + "-" * (width - 2))
+        for record in gauges:
+            lines.append(
+                f"  {record['name']:<44.44} {record['node']:<16.16} "
+                f"{_fmt_value(record['value']):>7} {_fmt_value(record['max']):>6}"
+            )
+
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"  {'histogram':<34} {'node':<12} {'count':>7} "
+            f"{'p50':>9} {'p99':>9} {'max':>9}"
+        )
+        lines.append("  " + "-" * (width - 2))
+        for record in histograms:
+            lines.append(
+                f"  {record['name']:<34.34} {record['node']:<12.12} "
+                f"{record['count']:>7} {_fmt_seconds(record['p50']):>9} "
+                f"{_fmt_seconds(record['p99']):>9} {_fmt_seconds(record['max']):>9}"
+            )
+
+    if len(lines) == 3:
+        lines.append("  (no instruments recorded)")
+    lines.append("=" * width)
+    return "\n".join(lines)
+
+
+def render_registry(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Convenience wrapper: snapshot + render in one call."""
+    return render(registry.snapshot(), title=title)

@@ -1,0 +1,382 @@
+"""Low-overhead metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the live-telemetry backbone of the reproduction.  Hot
+paths (the switch pipeline, the replication engines, the links) hold
+*bound instruments* — tiny objects with one method — created once at
+construction time, so recording a sample is a single method call with
+no name lookup, no dict access, and no allocation.
+
+Observability defaults to **off**: every instrumented component takes a
+registry argument defaulting to :data:`NULL_REGISTRY`, whose instrument
+factories return shared no-op singletons.  A disabled deployment
+therefore pays at most an attribute check per packet (components cache
+``registry.enabled`` and skip the call entirely).
+
+Metric naming scheme (see docs/OBSERVABILITY.md):
+
+* dotted lowercase names, ``<subsystem>.<quantity>[_<unit>]`` —
+  e.g. ``sro.write_commit_latency_seconds``, ``link.bytes_sent``;
+* the emitting entity (switch name, channel ``a->b``, ``controller``)
+  goes in the separate ``node`` label, never in the metric name;
+* durations are in **seconds** (the simulator's clock unit), sizes in
+  bytes.
+
+Histograms use fixed upper-bound buckets (log-spaced over the
+simulation's latency range by default) so that p50/p99 are computable
+in O(buckets) with zero per-sample allocation, exactly like a hardware
+INT sink or a Prometheus client would.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "DEFAULT_LATENCY_BOUNDS",
+    "load_jsonl",
+]
+
+#: Default histogram bucket upper bounds, in seconds: 200 ns .. 200 ms,
+#: roughly 1-2-5 log-spaced.  Spans everything the simulator measures,
+#: from one pipeline pass (400 ns) to a failover window (tens of ms).
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = (
+    200e-9, 500e-9,
+    1e-6, 2e-6, 5e-6,
+    10e-6, 20e-6, 50e-6,
+    100e-6, 200e-6, 500e-6,
+    1e-3, 2e-3, 5e-3,
+    10e-3, 20e-3, 50e-3,
+    100e-3, 200e-3,
+)
+
+
+class Counter:
+    """A monotonically increasing count (packets, bytes, events)."""
+
+    __slots__ = ("name", "node", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, node: str = "") -> None:
+        self.name = name
+        self.node = node
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": "counter", "name": self.name, "node": self.node, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, outstanding writes).
+
+    Tracks the current value plus the maximum ever set, since for
+    occupancy-style quantities the high-water mark is usually the
+    interesting number at snapshot time.
+    """
+
+    __slots__ = ("name", "node", "value", "max_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, node: str = "") -> None:
+        self.name = name
+        self.node = node
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "node": self.node,
+            "value": self.value,
+            "max": self.max_value,
+        }
+
+
+class Histogram:
+    """A fixed-bucket distribution with cheap percentile estimates.
+
+    ``bounds`` are inclusive upper bucket edges; samples above the last
+    bound land in an overflow bucket.  Percentiles are reported as the
+    upper edge of the bucket containing that quantile (overflow reports
+    the exact observed maximum), which is the standard fixed-bucket
+    estimate: at most one bucket width of error, zero per-sample cost.
+    """
+
+    __slots__ = ("name", "node", "bounds", "buckets", "overflow", "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, node: str = "", bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty ascending sequence")
+        self.name = name
+        self.node = node
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bisect_left(self.bounds, value)
+        if index < len(self.buckets):
+            self.buckets[index] += 1
+        else:
+            self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at quantile ``p`` in [0, 1]."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p * self.count
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.buckets):
+            cumulative += bucket
+            if cumulative >= rank:
+                return bound
+        return self.max  # quantile lands in the overflow bucket
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "node": self.node,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.p50,
+            "p99": self.p99,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "overflow": self.overflow,
+        }
+
+
+# ----------------------------------------------------------------------
+# No-op instruments: shared singletons so NULL_REGISTRY allocates nothing
+# per call site beyond the bound reference itself.
+# ----------------------------------------------------------------------
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null", bounds=(1.0,))
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and exports instruments.
+
+    Instruments are keyed by ``(kind, name, node)``: asking twice for
+    the same key returns the same object, so independently constructed
+    components share counters safely.
+    """
+
+    #: Components cache this to skip instrumentation entirely when off.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: "Dict[Tuple[str, str, str], Any]" = {}
+
+    # -- factories ------------------------------------------------------
+    def counter(self, name: str, node: str = "") -> Counter:
+        key = ("counter", name, node)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Counter(name, node)
+        return instrument
+
+    def gauge(self, name: str, node: str = "") -> Gauge:
+        key = ("gauge", name, node)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Gauge(name, node)
+        return instrument
+
+    def histogram(
+        self, name: str, node: str = "", bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> Histogram:
+        key = ("histogram", name, node)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Histogram(name, node, bounds=bounds)
+        return instrument
+
+    # -- introspection --------------------------------------------------
+    def instruments(self) -> List[Any]:
+        """All instruments, sorted by (kind, name, node) for stable output."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def get(self, kind: str, name: str, node: str = "") -> Optional[Any]:
+        return self._instruments.get((kind, name, node))
+
+    def value(self, kind: str, name: str, node: str = "", default: float = 0) -> float:
+        """Convenience: current value of a counter/gauge (``default`` if absent)."""
+        instrument = self.get(kind, name, node)
+        return instrument.value if instrument is not None else default
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """A JSON-ready snapshot grouped by instrument kind."""
+        grouped: Dict[str, List[Dict[str, Any]]] = {
+            "counters": [], "gauges": [], "histograms": []
+        }
+        for instrument in self.instruments():
+            grouped[instrument.kind + "s"].append(instrument.as_dict())
+        return grouped
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON record per instrument; returns the record count."""
+        instruments = self.instruments()
+        with open(path, "w", encoding="utf-8") as handle:
+            for instrument in instruments:
+                handle.write(json.dumps(instrument.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(instruments)
+
+    # -- aggregation ----------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (multi-run aggregation).
+
+        Counters add; gauges keep the maximum (their high-water
+        interpretation); histograms add bucket-wise and require
+        identical bounds.
+        """
+        for instrument in other.instruments():
+            if instrument.kind == "counter":
+                self.counter(instrument.name, instrument.node).inc(instrument.value)
+            elif instrument.kind == "gauge":
+                mine = self.gauge(instrument.name, instrument.node)
+                mine.set(max(mine.value, instrument.value))
+                mine.max_value = max(mine.max_value, instrument.max_value)
+            else:
+                mine = self.histogram(
+                    instrument.name, instrument.node, bounds=instrument.bounds
+                )
+                if mine.bounds != instrument.bounds:
+                    raise ValueError(
+                        f"histogram {instrument.name!r}/{instrument.node!r}: "
+                        "cannot merge differing bucket bounds"
+                    )
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+                mine.min = min(mine.min, instrument.min)
+                mine.max = max(mine.max, instrument.max)
+                mine.overflow += instrument.overflow
+                for i, bucket in enumerate(instrument.buckets):
+                    mine.buckets[i] += bucket
+        return self
+
+
+class NullRegistry(MetricsRegistry):
+    """The default everywhere: hands out no-op singletons, exports nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, node: str = "") -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, node: str = "") -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(
+        self, name: str, node: str = "", bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+#: Shared no-op registry; hot paths bound to it stay effectively free.
+NULL_REGISTRY = NullRegistry()
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read back a :meth:`MetricsRegistry.write_jsonl` export."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -165,6 +165,19 @@ class CentralController:
         #: reset on (re-)homing so everyone gets a fresh grace window.
         self._deadline_base = self.sim.now
         self._hb_seq = 0
+        # Live telemetry (repro.obs).  The detection-latency histogram
+        # only sees real failures — false positives have no meaningful
+        # failed_at, so they get a counter instead.
+        metrics = deployment.metrics
+        self._m_heartbeats = metrics.counter("controller.heartbeats", "controller")
+        self._m_failures = metrics.counter("controller.failures_detected", "controller")
+        self._m_false_positives = metrics.counter(
+            "controller.false_positives", "controller"
+        )
+        self._m_recoveries = metrics.counter("controller.recoveries", "controller")
+        self._m_detection_latency = metrics.histogram(
+            "controller.detection_latency_seconds", "controller"
+        )
         self._hb_generators: Dict[str, PacketGenerator] = {}
         if detection == "heartbeat":
             for switch in deployment.switches:
@@ -238,6 +251,7 @@ class CentralController:
     def on_heartbeat(self, beacon: Heartbeat) -> None:
         """A beacon reached the host switch (dispatched by its manager)."""
         self.heartbeats_received += 1
+        self._m_heartbeats.inc()
         self._last_heard[beacon.origin] = self.sim.now
         if beacon.origin in self._known_failed:
             if self.deployment.manager(beacon.origin).switch.failed:
@@ -245,6 +259,7 @@ class CentralController:
                 # really is down — not evidence of life.
                 return
             self.false_positives += 1
+            self._m_false_positives.inc()
             self._readmit(beacon.origin)
 
     def _check_liveness(self) -> None:
@@ -302,6 +317,9 @@ class CentralController:
             false_positive=not self.deployment.manager(name).switch.failed,
         )
         self.failures.append(event)
+        self._m_failures.inc()
+        if not event.false_positive:
+            self._m_detection_latency.observe(event.detection_latency)
         # "First, we regain connectivity by reprogramming the routing of
         # the failed switch neighbors."
         self.deployment.routing.recompute()
@@ -356,6 +374,7 @@ class CentralController:
             raise ValueError(f"{name} has not failed; nothing to recover")
         event = RecoveryEvent(switch=name, started_at=self.sim.now)
         self.recoveries.append(event)
+        self._m_recoveries.inc()
         switch.recover()
         self._known_failed.discard(name)
         self._fail_times.pop(name, None)
@@ -395,6 +414,7 @@ class CentralController:
             switch=name, started_at=self.sim.now, readmission=True
         )
         self.recoveries.append(event)
+        self._m_recoveries.inc()
         self.deployment.routing.recompute()
         manager = self.deployment.manager(name)
         rejoined = False

@@ -152,6 +152,17 @@ class EwoEngine:
         self.sync_period = sync_period
         self.groups: Dict[int, EwoGroupState] = {}
         self._sync_rng = manager.rng.stream(f"ewo-sync:{self.switch.name}")
+        # Live telemetry (repro.obs): sync/update volume and merge
+        # outcomes, labelled by this switch.  All no-ops when metrics
+        # are off.
+        metrics = manager.deployment.metrics
+        self._metrics_on = metrics.enabled
+        self._m_sync_packets = metrics.counter("ewo.sync_packets", self.switch.name)
+        self._m_sync_bytes = metrics.counter("ewo.sync_bytes", self.switch.name)
+        self._m_update_packets = metrics.counter("ewo.update_packets", self.switch.name)
+        self._m_update_bytes = metrics.counter("ewo.update_bytes", self.switch.name)
+        self._m_merges_applied = metrics.counter("ewo.merges_applied", self.switch.name)
+        self._m_merges_stale = metrics.counter("ewo.merges_stale", self.switch.name)
 
     # ------------------------------------------------------------------
     def add_group(
@@ -283,6 +294,9 @@ class EwoEngine:
             swishmem=SwiShmemHeader(op=SwiShmemOp.EWO_UPDATE, register_group=group_id),
             swishmem_payload=update,
         )
+        if self._metrics_on:
+            self._m_update_packets.inc()
+            self._m_update_bytes.inc(packet.wire_size)
         return self.switch.multicast_to_group(packet, group_id)
 
     def _flush_partial(self, state: EwoGroupState, entries: List[EwoEntry], directory) -> int:
@@ -315,6 +329,9 @@ class EwoEngine:
                 copies += 1
                 state.stats.updates_sent += len(update.entries)
                 state.stats.update_packets_sent += 1
+                if self._metrics_on:
+                    self._m_update_packets.inc()
+                    self._m_update_bytes.inc(packet.wire_size)
         return copies
 
     # ------------------------------------------------------------------
@@ -331,8 +348,12 @@ class EwoEngine:
             state.stats.updates_received += 1
             if self._merge_entry(state, entry):
                 state.stats.merges_applied += 1
+                if self._metrics_on:
+                    self._m_merges_applied.inc()
             else:
                 state.stats.merges_stale += 1
+                if self._metrics_on:
+                    self._m_merges_stale.inc()
 
     def _merge_entry(self, state: EwoGroupState, entry: EwoEntry) -> bool:
         if state.spec.ewo_mode is EwoMode.COUNTER:
@@ -409,6 +430,9 @@ class EwoEngine:
                 packets += 1
                 state.stats.sync_packets_sent += 1
                 state.stats.sync_entries_sent += len(chunk)
+                if self._metrics_on:
+                    self._m_sync_packets.inc()
+                    self._m_sync_bytes.inc(packet.wire_size)
         return packets
 
     def _pick_sync_target(self, group_id: int) -> Optional[str]:

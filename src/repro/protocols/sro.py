@@ -205,6 +205,21 @@ class SroEngine:
         self.groups: Dict[int, SroGroupState] = {}
         self._outstanding: Dict[WriteToken, _OutstandingWrite] = {}
         self.write_timeout = DEFAULT_WRITE_TIMEOUT
+        # Live telemetry (repro.obs): engine-level gauges plus per-group
+        # instruments bound in add_group.  The deployment sets its
+        # registry before constructing managers, so this sees the real
+        # one; all of it degrades to no-op singletons when metrics are off.
+        metrics = manager.deployment.metrics
+        self._metrics_on = metrics.enabled
+        self._m_outstanding = metrics.gauge("sro.outstanding_writes", self.switch.name)
+        self._m_pending = metrics.gauge("sro.pending_bits", self.switch.name)
+        self._m_commit_latency = metrics.histogram(
+            "sro.write_commit_latency_seconds", self.switch.name
+        )
+        self._m_reads_local = metrics.counter("sro.reads_local", self.switch.name)
+        self._m_reads_forwarded = metrics.counter("sro.reads_forwarded", self.switch.name)
+        self._m_reads_tail = metrics.counter("sro.reads_tail", self.switch.name)
+        self._m_retries = metrics.counter("sro.write_retries", self.switch.name)
         # Data-plane write-buffering state and accounting (section 9).
         self._dp_holds: Dict[WriteToken, _DataplaneHold] = {}
         self.dp_holds_created = 0
@@ -240,6 +255,8 @@ class SroEngine:
         )
         if self.switch.name == state.chain.read_tail or at_tail:
             state.stats.tail_reads += 1
+            if self._metrics_on:
+                self._m_reads_tail.inc()
             return state.store.get(key, default if default is not None else spec.default)
         if state.track_pending:
             slot = state.pending.slot_of(key)
@@ -249,11 +266,17 @@ class SroEngine:
                     # local copy (peek semantics); only data-plane reads
                     # forward packets.
                     state.stats.local_reads += 1
+                    if self._metrics_on:
+                        self._m_reads_local.inc()
                     return state.store.get(key, default if default is not None else spec.default)
                 state.stats.forwarded_reads += 1
+                if self._metrics_on:
+                    self._m_reads_forwarded.inc()
                 self._forward_read(state, packet)
                 raise ReadForwarded(spec.group_id, key, state.chain.read_tail)
         state.stats.local_reads += 1
+        if self._metrics_on:
+            self._m_reads_local.inc()
         return state.store.get(key, default if default is not None else spec.default)
 
     def _forward_read(self, state: SroGroupState, packet: Packet) -> None:
@@ -344,6 +367,8 @@ class SroEngine:
             self.switch.control.submit(
                 self._send_write_request, request.token, label="sro-write-send"
             )
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
 
     # ------------------------------------------------------------------
     # Data-plane write buffering (section 9 open question, realized)
@@ -371,6 +396,8 @@ class SroEngine:
             write_tokens.append(request.token)
             self.manager.on_write_initiated(spec, key, value, request.token)
             self._dp_send_request(request)
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
         # A hold always exists: it is both the output buffer *and* the
         # data-plane retransmission timer.  Writes with no output packet
         # (control-plane-originated) recirculate a generated marker
@@ -427,6 +454,8 @@ class SroEngine:
                 if outstanding is not None:
                     state = self.groups[outstanding.request.group]
                     state.stats.retries += 1
+                    if self._metrics_on:
+                        self._m_retries.inc()
                     self._dp_send_request(outstanding.request)
         self.sim.schedule(RECIRCULATION_LATENCY, self._dp_tick, token, label="sro-dp-hold")
 
@@ -438,6 +467,8 @@ class SroEngine:
             if outstanding is not None:
                 state = self.groups[outstanding.request.group]
                 state.stats.writes_failed += 1
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
         if hold.packet is not None:
             self.switch.drop(hold.packet, reason="dp-write-giveup")
 
@@ -477,6 +508,8 @@ class SroEngine:
             return
         state = self.groups[outstanding.request.group]
         state.stats.retries += 1
+        if self._metrics_on:
+            self._m_retries.inc()
         self._send_write_request(token)
 
     def _give_up(self, outstanding: _OutstandingWrite) -> None:
@@ -484,6 +517,8 @@ class SroEngine:
         state = self.groups[request.group]
         state.stats.writes_failed += 1
         self._outstanding.pop(request.token, None)
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
         if outstanding.timer is not None:
             outstanding.timer.cancel()
         barrier = outstanding.barrier
@@ -569,6 +604,8 @@ class SroEngine:
             state.store[update.key] = update.value
             state.pending.mark_applied(slot, update.seq)
             if state.track_pending and not is_tail:
+                if self._metrics_on and not state.pending.is_pending(slot):
+                    self._m_pending.inc()
                 state.pending.set_pending(slot, update.seq)
         elif state.catching_up:
             # Recovery: gaps are covered by the snapshot replay, so the
@@ -626,14 +663,21 @@ class SroEngine:
             return
         state.stats.acks_seen += 1
         if state.track_pending:
-            state.pending.clear_pending(ack.slot, ack.seq)
+            cleared = state.pending.clear_pending(ack.slot, ack.seq)
+            if cleared and self._metrics_on:
+                self._m_pending.dec()
         outstanding = self._outstanding.pop(ack.token, None)
         if outstanding is None:
             return
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
         if outstanding.timer is not None:
             outstanding.timer.cancel()
         state.stats.writes_committed += 1
-        state.stats.record_write_latency(self.sim.now - outstanding.started_at)
+        latency = self.sim.now - outstanding.started_at
+        state.stats.record_write_latency(latency)
+        if self._metrics_on:
+            self._m_commit_latency.observe(latency)
         self.manager.on_write_committed(state.spec, outstanding.request.key, ack)
         barrier = outstanding.barrier
         if barrier is None:

@@ -111,6 +111,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Optional dispatch interceptor (see ``repro.obs.profiler``).
+        #: When set, events run through ``profiler.dispatch(event)`` so
+        #: wall-clock cost can be attributed per handler label.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -185,7 +189,10 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
-                event.callback(*event.args)
+                if self.profiler is None:
+                    event.callback(*event.args)
+                else:
+                    self.profiler.dispatch(event)
                 self.events_processed += 1
                 processed += 1
                 if max_events is not None and processed >= max_events:
@@ -203,7 +210,10 @@ class Simulator:
             if entry.event.cancelled:
                 continue
             self._now = entry.event.time
-            entry.event.callback(*entry.event.args)
+            if self.profiler is None:
+                entry.event.callback(*entry.event.args)
+            else:
+                self.profiler.dispatch(entry.event)
             self.events_processed += 1
             return True
         return False

@@ -14,8 +14,9 @@ is built.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Set
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -39,10 +40,25 @@ class Tracer:
     """Collects :class:`TraceRecord` objects, optionally filtered by category.
 
     ``categories=None`` records everything; an empty set records nothing.
+
+    ``max_records`` bounds memory: when set, the tracer becomes a ring
+    buffer that keeps only the newest ``max_records`` entries, evicting
+    the oldest and counting evictions.  Long chaos soaks use this so a
+    multi-second run cannot grow ``records`` without limit while still
+    retaining the recent history that matters for post-mortems.
     """
 
-    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
-        self.records: List[TraceRecord] = []
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self.max_records = max_records
+        #: Number of records discarded because the ring was full.
+        self.evictions = 0
         self._categories: Optional[Set[str]] = (
             None if categories is None else set(categories)
         )
@@ -63,6 +79,8 @@ class Tracer:
         if not self.enabled(category):
             return
         record = TraceRecord(time, category, node, message, data)
+        if self.max_records is not None and len(self.records) == self.max_records:
+            self.evictions += 1  # deque(maxlen=...) drops the oldest on append
         self.records.append(record)
         for sink in self._sinks:
             sink(record)

@@ -33,6 +33,8 @@ from repro.net.link import Node
 from repro.net.multicast import MulticastRegistry
 from repro.net.packet import Packet
 from repro.net.routing import RoutingTable
+from repro.obs.inttel import IntHopRecord, IntTelemetry
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.switch.control import ControlPlaneAgent, DEFAULT_OP_LATENCY
@@ -98,6 +100,7 @@ class PisaSwitch(Node):
         pipeline_rate_pps: Optional[float] = None,
         queue_capacity: int = 1024,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         super().__init__(name)
         self.sim = sim
@@ -114,10 +117,27 @@ class PisaSwitch(Node):
         # Optional finite-capacity service model (experiment C1).
         self.pipeline_rate_pps = pipeline_rate_pps
         self.queue_capacity = queue_capacity
-        self._queue: Deque[Tuple[Packet, str]] = deque()
+        self._queue: Deque[Tuple[Packet, str, float, int]] = deque()
         self._serving = False
         # Atomicity guard (paper section 2).
         self._in_pipeline = False
+        # INT mode: stamp a per-hop telemetry record onto each packet.
+        self.int_enabled = False
+        self.int_max_hops = 16
+        self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """(Re)bind telemetry instruments; deployments call this to turn
+        a pre-constructed switch's metrics on after the fact."""
+        self.metrics = metrics
+        self._metrics_on = metrics.enabled
+        self._m_rx = metrics.counter("switch.rx_packets", self.name)
+        self._m_tx = metrics.counter("switch.tx_packets", self.name)
+        self._m_drops = metrics.counter("switch.dropped_packets", self.name)
+        self._m_punts = metrics.counter("switch.punted_packets", self.name)
+        self._m_queue_depth = metrics.gauge("switch.queue_depth", self.name)
+        self._m_queue_drops = metrics.counter("switch.queue_drops", self.name)
+        self._m_queue_wait = metrics.histogram("switch.queue_wait_seconds", self.name)
 
     # ------------------------------------------------------------------
     # Program installation
@@ -141,15 +161,23 @@ class PisaSwitch(Node):
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, from_node: str) -> None:
         self.stats.rx_packets += 1
+        if self._metrics_on:
+            self._m_rx.inc()
         if self.pipeline_rate_pps is None:
             self._pipeline_pass(packet, from_node)
             return
         # Finite service rate: FIFO queue + serialized service events.
-        if len(self._queue) >= self.queue_capacity:
+        depth = len(self._queue)
+        if depth >= self.queue_capacity:
             self.stats.queue_drops += 1
             self.stats.dropped_packets += 1
+            if self._metrics_on:
+                self._m_queue_drops.inc()
+                self._m_drops.inc()
             return
-        self._queue.append((packet, from_node))
+        self._queue.append((packet, from_node, self.sim.now, depth))
+        if self._metrics_on:
+            self._m_queue_depth.set(depth + 1)
         if not self._serving:
             self._serving = True
             self.sim.schedule(
@@ -164,8 +192,11 @@ class PisaSwitch(Node):
         if not self._queue:
             self._serving = False
             return
-        packet, from_node = self._queue.popleft()
-        self._pipeline_pass(packet, from_node)
+        packet, from_node, enqueued_at, depth = self._queue.popleft()
+        if self._metrics_on:
+            self._m_queue_depth.set(len(self._queue))
+            self._m_queue_wait.observe(self.sim.now - enqueued_at)
+        self._pipeline_pass(packet, from_node, arrived_at=enqueued_at, queue_depth=depth)
         if self._queue:
             self.sim.schedule(
                 1.0 / self.pipeline_rate_pps, self._serve_next, label=f"{self.name}:serve"
@@ -173,7 +204,13 @@ class PisaSwitch(Node):
         else:
             self._serving = False
 
-    def _pipeline_pass(self, packet: Packet, from_node: str) -> None:
+    def _pipeline_pass(
+        self,
+        packet: Packet,
+        from_node: str,
+        arrived_at: Optional[float] = None,
+        queue_depth: int = 0,
+    ) -> None:
         """One atomic parser -> pipeline -> deparser pass."""
         if self._in_pipeline:
             raise RuntimeError(
@@ -181,6 +218,7 @@ class PisaSwitch(Node):
                 "re-delivered a packet; use recirculate() or the simulator instead"
             )
         self._in_pipeline = True
+        ingress = arrived_at if arrived_at is not None else self.sim.now
         try:
             packet.meta.clear()  # fresh PISA metadata at each switch
             packet.meta["ingress_node"] = from_node
@@ -201,6 +239,28 @@ class PisaSwitch(Node):
             self.forward_by_ip(packet)
         finally:
             self._in_pipeline = False
+            if self.int_enabled:
+                self._stamp_int_hop(packet, ingress, queue_depth)
+
+    def _stamp_int_hop(self, packet: Packet, ingress: float, queue_depth: int) -> None:
+        """Push this hop's INT record (INT-MD: metadata rides the packet).
+
+        Hop latency covers queue wait plus the service slot; the
+        ``int_state_ops`` metadata key is incremented by the SwiShmem
+        manager for every register operation the pass executed.
+        """
+        telemetry = packet.int_data
+        if telemetry is None:
+            telemetry = packet.int_data = IntTelemetry(max_hops=self.int_max_hops)
+        telemetry.push(
+            IntHopRecord(
+                node=self.name,
+                ingress_time=ingress,
+                egress_time=self.sim.now,
+                queue_depth=queue_depth,
+                state_ops=packet.meta.get("int_state_ops", 0),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Egress actions (the API programs use)
@@ -220,6 +280,8 @@ class PisaSwitch(Node):
         sent = self.send(packet, hop) if hop in self.links else self._send_via_routing(packet, hop)
         if sent:
             self.stats.tx_packets += 1
+            if self._metrics_on:
+                self._m_tx.inc()
             self.tracer.emit(self.sim.now, "fwd", self.name, "tx", to=hop, pkt=packet.uid)
         return sent
 
@@ -244,11 +306,15 @@ class PisaSwitch(Node):
 
     def drop(self, packet: Packet, reason: str = "") -> None:
         self.stats.dropped_packets += 1
+        if self._metrics_on:
+            self._m_drops.inc()
         self.tracer.emit(self.sim.now, "drop", self.name, reason or "drop", pkt=packet.uid)
 
     def punt_to_cpu(self, packet: Packet, handler: Callable[[Packet], None]) -> None:
         """Send a packet to the local control plane (paper section 2)."""
         self.stats.punted_packets += 1
+        if self._metrics_on:
+            self._m_punts.inc()
         self.control.submit(handler, packet, label="punt")
 
     def recirculate(self, packet: Packet) -> None:
