@@ -1,0 +1,263 @@
+"""[F4] Controller failover: lease duration vs. unavailability window.
+
+The paper's section 6.3 control plane is a single point of failure; the
+repo replicates it behind a simulated-time lease (protocols.election).
+This experiment quantifies the cost of that protection: with the acting
+leader fail-stopped, how long is the control plane headless — unable to
+detect failures, repair chains, or drive recoveries — as a function of
+the lease duration?
+
+For each lease duration the run crashes the acting leader mid-reign and
+additionally fail-stops one switch *inside* the leaderless window, the
+worst case for detection: the crash can only be acted on once a standby
+has taken over and reconstructed its view from the surviving switches.
+
+Measured quantities, per lease duration:
+
+* **leaderless window** — leader crash to successor activation, checked
+  against the documented bound (lease run-out + takeover margin +
+  stagger + reconstruction);
+* **switch-failure handling latency** — switch crash (inside the
+  window) to chain repair by the successor, versus the steady-state
+  heartbeat detection bound;
+* **data-plane stall** — SRO writes stall once the chain member dies
+  (its repair must wait for the successor), so the worst commit gap
+  tracks the leaderless window and is bounded by failover bound +
+  detection bound — the true price of a longer lease;
+* **at-most-one-active-leader** — the invariant suite's single-leader
+  monitor samples throughout every sweep point and must stay green.
+
+Run standalone::
+
+    python benchmarks/bench_controller_failover.py [--leases 2 5 10]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import emit_json, fmt_us, print_header, print_table
+
+from repro.chaos import InvariantSuite
+from repro.core.manager import SwiShmemDeployment
+from repro.core.registers import Consistency, RegisterSpec
+from repro.net.topology import Topology, build_full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRng
+from repro.switch.pisa import PisaSwitch
+
+WRITER = "s0"
+REPLICAS = 3
+#: The leader is killed mid-reign at this simulated time…
+CRASH_AT = 20e-3
+#: …and one switch dies inside the leaderless window shortly after.
+SWITCH_CRASH_DELAY = 0.5e-3
+
+
+@dataclass
+class FailoverPoint:
+    lease_ms: float
+    replicas: int
+    leaderless_window: float
+    failover_bound: float
+    reconstruction_latency: float
+    switch_handling_latency: float
+    detection_bound: float
+    worst_commit_gap: float
+    commits: int
+    leader_changes: int
+    single_leader_checks: int
+    invariant_ok: bool
+    invariant_violations: List[str]
+
+
+def run_failover(lease_duration: float, seed: int = 1) -> FailoverPoint:
+    sim = Simulator()
+    topo = Topology(sim, SeededRng(seed))
+    nodes = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 4)
+    dep = SwiShmemDeployment(
+        sim,
+        topo,
+        nodes,
+        controller_replicas=REPLICAS,
+        lease_duration=lease_duration,
+    )
+    sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=256))
+    suite = InvariantSuite(dep).start(period=0.25e-3)
+    cluster = dep.controller
+
+    def workload() -> None:
+        manager = dep.manager(WRITER)
+        if not manager.switch.failed:
+            manager.register_write(sro, f"k{len(suite.commit_times) % 16}", sim.now)
+        if sim.now < 70e-3:
+            sim.schedule(200e-6, workload)
+
+    sim.schedule(1e-3, workload)
+    sim.schedule_at(CRASH_AT, lambda: cluster.crash_replica(
+        cluster.active_leader().replica_id
+    ))
+    switch_crash_at = CRASH_AT + SWITCH_CRASH_DELAY
+
+    def crash_switch() -> None:
+        cluster.note_failure_time("s3")
+        dep.fail_switch("s3")
+
+    sim.schedule_at(switch_crash_at, crash_switch)
+    sim.run(until=0.1)
+    report = suite.finalize()
+
+    takeover = next(
+        t for (t, action, rid, _) in cluster.leader_log
+        if action == "activate" and t > CRASH_AT
+    )
+    reconstruction = next(
+        detail for (t, action, rid, detail) in cluster.leader_log
+        if action == "reconstructed" and t > CRASH_AT
+    )
+    # When was the mid-window switch crash acted on?  The successor
+    # excises non-repliers during reconstruction (no FailureEvent), so
+    # take the moment its chain lost the victim.
+    handled_at = next(
+        (e.detected_at for e in cluster.failures if e.switch == "s3"),
+        None,
+    )
+    if handled_at is None:
+        # excised during reconstruction: repair lands with its finish
+        handled_at = takeover + reconstruction
+    commit_gaps = [
+        b - a for a, b in zip(suite.commit_times, suite.commit_times[1:])
+    ]
+    return FailoverPoint(
+        lease_ms=lease_duration * 1e3,
+        replicas=REPLICAS,
+        leaderless_window=takeover - CRASH_AT,
+        failover_bound=cluster.failover_bound,
+        reconstruction_latency=reconstruction,
+        switch_handling_latency=handled_at - switch_crash_at,
+        detection_bound=cluster.detection_bound,
+        worst_commit_gap=max(commit_gaps, default=0.0),
+        commits=len(suite.commit_times),
+        leader_changes=cluster.leader_changes,
+        single_leader_checks=report.checks["single_leader"],
+        invariant_ok=report.ok,
+        invariant_violations=[str(v) for v in report.violations],
+    )
+
+
+def run_experiment(
+    lease_durations: Tuple[float, ...] = (2e-3, 5e-3, 10e-3), seed: int = 1
+) -> List[FailoverPoint]:
+    return [run_failover(lease, seed=seed) for lease in lease_durations]
+
+
+def report(results: List[FailoverPoint]) -> None:
+    print_header(
+        "F4",
+        "controller failover: lease duration vs unavailability window",
+        "a standby takes over within the lease-derived bound, the "
+        "successor rebuilds its view from the switches, at most one "
+        "leader is ever active, and the data plane never stalls",
+    )
+    rows = [
+        (
+            f"{r.lease_ms:.0f}ms",
+            fmt_us(r.leaderless_window),
+            fmt_us(r.failover_bound),
+            fmt_us(r.reconstruction_latency),
+            fmt_us(r.switch_handling_latency),
+            fmt_us(r.detection_bound),
+            fmt_us(r.worst_commit_gap),
+            r.commits,
+            r.single_leader_checks,
+            "OK" if r.invariant_ok else f"{len(r.invariant_violations)} VIOLATIONS",
+        )
+        for r in results
+    ]
+    print_table(
+        ["lease", "leaderless", "bound", "reconstruct", "switch handled",
+         "detect bound", "worst gap", "commits", "1-leader checks",
+         "invariants"],
+        rows,
+    )
+
+
+def check_results(results: List[FailoverPoint]) -> None:
+    assert len(results) >= 3
+    for r in results:
+        assert r.invariant_ok, (
+            f"lease {r.lease_ms}ms: {r.invariant_violations}"
+        )
+        assert r.single_leader_checks > 0
+        assert r.leader_changes == 2  # initial + exactly one takeover
+        # the window is real but bounded by the documented formula
+        assert 0 < r.leaderless_window <= r.failover_bound + 1e-9
+        # the mid-window switch crash was handled, late but bounded:
+        # worst case rides the failover, not the steady-state bound
+        assert (
+            r.switch_handling_latency
+            <= r.failover_bound + r.detection_bound + 1e-9
+        )
+        # with a chain member dead mid-window, writes stall until the
+        # successor repairs the chain — so the worst commit gap tracks
+        # the leaderless window, bounded by failover + detection
+        assert r.worst_commit_gap < r.failover_bound + r.detection_bound
+        assert r.commits > 100
+    # the window tracks the lease duration: longer leases, longer outages
+    windows = [r.leaderless_window for r in results]
+    assert windows == sorted(windows)
+    assert windows[-1] > windows[0]
+
+
+@pytest.mark.benchmark(group="experiment")
+def test_controller_failover_matches_paper(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(results)
+    check_results(results)
+
+
+@pytest.mark.benchmark(group="controller")
+def test_benchmark_controller_failover(benchmark):
+    benchmark.pedantic(
+        lambda: run_failover(5e-3), rounds=1, iterations=1
+    )
+
+
+def main(argv: List[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--leases", type=float, nargs="+", default=[2.0, 5.0, 10.0],
+        help="lease durations to sweep, in milliseconds (default: 2 5 10)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    durations = tuple(lease * 1e-3 for lease in args.leases)
+    results = run_experiment(durations, seed=args.seed)
+    report(results)
+    failures = 0
+    try:
+        check_results(results)
+    except AssertionError as exc:
+        failures += 1
+        print(f"FAIL: {exc}")
+    emit_json(
+        "F4",
+        "controller failover: lease duration vs unavailability window",
+        results,
+        extra={"seed": args.seed, "replicas": REPLICAS},
+    )
+    print("RESULT:", "FAIL" if failures else "PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

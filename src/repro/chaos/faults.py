@@ -10,7 +10,14 @@ fail", section 5) into schedules riding the simulator's event queue:
 * ``loss_burst`` — temporarily raise the loss rate on some or all
   channels (correlated loss, unlike the i.i.d. baseline);
 * ``partition`` — bipartition the topology by downing every crossing
-  link, healing after a duration.
+  link, healing after a duration;
+* ``crash_controller`` / ``recover_controller`` — fail-stop one
+  controller replica (default: whoever leads when the fault fires),
+  exercising lease expiry, standby takeover, and state reconstruction;
+* ``partition_controller`` — sever one replica's management
+  connectivity (to switches and to its peers) for a while: a
+  partitioned leader stops hearing beacons and renewing its lease, so
+  it self-fences and a connected standby takes over.
 
 Every applied fault is appended to :attr:`FaultInjector.log`, which —
 together with the deployment's event counters and final state — forms
@@ -85,6 +92,97 @@ class FaultInjector:
     ) -> None:
         self.crash(at, name)
         self.recover(at + down_for, name, wipe_state=wipe_state)
+
+    # ------------------------------------------------------------------
+    # Controller faults (high availability, protocols.election)
+    # ------------------------------------------------------------------
+    def _pick_replica(self, replica: Optional[int]):
+        cluster = self.deployment.controller
+        if replica is None:
+            target = cluster.active_leader()
+            if target is None:
+                return cluster, None
+            replica = target.replica_id
+        return cluster, replica
+
+    def crash_controller(self, at: float, replica: Optional[int] = None) -> None:
+        """Fail-stop a controller replica.  ``replica=None`` targets
+        whichever replica holds the lease when the fault fires — the
+        interesting case."""
+        self.sim.schedule_at(
+            at, self._crash_controller, replica, label="chaos:controller-crash"
+        )
+
+    def _crash_controller(self, replica: Optional[int]) -> None:
+        cluster, replica = self._pick_replica(replica)
+        if replica is None or cluster.replicas[replica].failed:
+            return  # no active leader to kill / already down
+        cluster.crash_replica(replica)
+        self._record("controller-crash", f"replica {replica}")
+
+    def recover_controller(self, at: float, replica: int) -> None:
+        self.sim.schedule_at(
+            at, self._recover_controller, replica, label="chaos:controller-recover"
+        )
+
+    def _recover_controller(self, replica: int) -> None:
+        cluster = self.deployment.controller
+        if not cluster.replicas[replica].failed:
+            return
+        cluster.restore_replica(replica)
+        self._record("controller-recover", f"replica {replica}")
+
+    def crash_leader_for(self, at: float, down_for: float) -> None:
+        """Crash whichever replica leads at ``at`` and restore that same
+        replica ``down_for`` later.  Unlike :meth:`crash_controller` +
+        :meth:`recover_controller`, the victim's identity is only known
+        at fire time, so the restore is scheduled from inside the crash."""
+        self.sim.schedule_at(
+            at, self._crash_leader_for, down_for, label="chaos:controller-crash"
+        )
+
+    def _crash_leader_for(self, down_for: float) -> None:
+        cluster, replica = self._pick_replica(None)
+        if replica is None or cluster.replicas[replica].failed:
+            return
+        cluster.crash_replica(replica)
+        self._record("controller-crash", f"replica {replica}")
+        self.sim.schedule(
+            down_for,
+            self._recover_controller,
+            replica,
+            label="chaos:controller-recover",
+        )
+
+    def partition_controller(
+        self, at: float, duration: float, replica: Optional[int] = None
+    ) -> None:
+        """Sever one replica's management connectivity for ``duration``.
+        ``replica=None`` targets the acting leader at fire time."""
+        self.sim.schedule_at(
+            at,
+            self._partition_controller,
+            replica,
+            duration,
+            label="chaos:controller-partition",
+        )
+
+    def _partition_controller(self, replica: Optional[int], duration: float) -> None:
+        cluster, replica = self._pick_replica(replica)
+        if replica is None:
+            return
+        cluster.set_mgmt_partition(replica, True)
+        self._record(
+            "controller-partition",
+            f"replica {replica} for {duration * 1e3:.1f} ms",
+        )
+        self.sim.schedule(
+            duration, self._heal_controller, replica, label="chaos:controller-heal"
+        )
+
+    def _heal_controller(self, replica: int) -> None:
+        self.deployment.controller.set_mgmt_partition(replica, False)
+        self._record("controller-heal", f"replica {replica}")
 
     # ------------------------------------------------------------------
     # Link faults
@@ -209,6 +307,8 @@ class FaultInjector:
         burst_loss: float = 0.05,
         partition_duration: Tuple[float, float] = (5e-3, 20e-3),
         protect: Sequence[str] = (),
+        controller_crashes: int = 0,
+        controller_downtime: Tuple[float, float] = (15e-3, 40e-3),
     ) -> List[str]:
         """Plan a random schedule inside ``[start, start + horizon]``.
 
@@ -268,6 +368,21 @@ class FaultInjector:
             planned.append(
                 f"partition {{{','.join(sorted(side))}}} at {at * 1e3:.2f} ms"
                 f" for {duration * 1e3:.2f} ms"
+            )
+        # Controller crashes draw last, so schedules planned before this
+        # knob existed (controller_crashes=0) remain byte-identical.
+        n_replicas = len(self.deployment.controller.replicas)
+        for _ in range(controller_crashes):
+            if n_replicas < 2:
+                break  # killing a solo controller just halts the run
+            victim = stream.randint(0, n_replicas - 1)
+            down = stream.uniform(*controller_downtime)
+            at = when(down)
+            self.crash_controller(at, victim)
+            self.recover_controller(at + down, victim)
+            planned.append(
+                f"controller crash replica {victim} at {at * 1e3:.2f} ms"
+                f" for {down * 1e3:.2f} ms"
             )
         return planned
 

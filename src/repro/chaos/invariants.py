@@ -22,6 +22,12 @@ checking one of the claims the paper makes about failure handling:
   identical membership; and no detected-failed switch lingers in any
   chain or multicast group.
 
+* **single leader** (controller HA): at no instant are two controller
+  replicas simultaneously active — holding an unexpired lease, unfenced
+  by the management partition, and willing to command switches.  The
+  lease margin math (docs/PROTOCOLS.md) argues this can never happen;
+  this monitor checks it empirically under crash/partition chaos.
+
 Monitors are asserted live on a periodic simulator process
 (:meth:`InvariantSuite.start`) and summarized by
 :meth:`InvariantSuite.finalize`, which runs the strict end-of-run
@@ -90,7 +96,12 @@ class InvariantSuite:
         self.deployment = deployment
         self.sim = deployment.sim
         self.report = InvariantReport(
-            checks={"no_lost_write": 0, "counter_monotonic": 0, "config_consistent": 0}
+            checks={
+                "no_lost_write": 0,
+                "counter_monotonic": 0,
+                "config_consistent": 0,
+                "single_leader": 0,
+            }
         )
         #: Commit timestamps, for unavailability-window analysis.
         self.commit_times: List[float] = []
@@ -145,6 +156,7 @@ class InvariantSuite:
         self._check_no_lost_write()
         self._check_counters()
         self._check_config()
+        self._check_single_leader()
 
     def finalize(self) -> InvariantReport:
         """Stop live checking, run the strict end-of-run checks."""
@@ -152,6 +164,7 @@ class InvariantSuite:
         self._check_no_lost_write(final=True)
         self._check_counters()
         self._check_config()
+        self._check_single_leader()
         return self.report
 
     # ------------------------------------------------------------------
@@ -174,6 +187,13 @@ class InvariantSuite:
                 continue
             state = manager.sro.groups.get(group_id)
             if state is None or state.catching_up:
+                continue
+            if state.chain.version < chain.version:
+                # The controller re-configured but the epoch-fenced
+                # command is still in flight (config_latency): until it
+                # lands — and with it the catching-up flag, which rides
+                # the same FIFO management path — the switch is not yet
+                # obligated to the new configuration.
                 continue
             members.append((name, state))
         return members
@@ -322,3 +342,19 @@ class InvariantSuite:
                         f"group {gid}: detected-failed {member} still in"
                         f" multicast group",
                     )
+
+    # ------------------------------------------------------------------
+    # Monitor 4: at most one active controller leader
+    # ------------------------------------------------------------------
+    def _check_single_leader(self) -> None:
+        self.report.checks["single_leader"] += 1
+        self._m_checks["single_leader"].inc()
+        replicas = getattr(self.deployment.controller, "replicas", None)
+        if not replicas:
+            return
+        active = [r.replica_id for r in replicas if r._is_active()]
+        if len(active) > 1:
+            self._violate(
+                "single_leader",
+                f"replicas {active} simultaneously hold an active lease",
+            )

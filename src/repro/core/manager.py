@@ -145,6 +145,11 @@ class SwiShmemManager:
         self._sync_generators: Dict[int, PacketGenerator] = {}
         self._ctx: Optional[PacketContext] = None
         self.nfs: List[Any] = []
+        #: Highest controller epoch this switch has obeyed.  Commands
+        #: stamped with a lower epoch come from a deposed leader and are
+        #: rejected (controller failover fencing, see protocols.election).
+        self.controller_epoch = 0
+        self.fenced_commands = 0
         switch.install_handler(self._protocol_handler, front=True)
 
     # ------------------------------------------------------------------
@@ -182,11 +187,49 @@ class SwiShmemManager:
             self.deployment.failover.handle_snapshot_ack(self, payload)
             return True
         if op is SwiShmemOp.HEARTBEAT:
-            # This switch is the controller's host: hand the beacon up
-            # the management port.
-            self.deployment.controller.on_heartbeat(payload)
+            # This switch hosts a controller replica: hand the beacon up
+            # the management port (the cluster routes it to whichever
+            # replica is homed here).
+            self.deployment.controller.on_heartbeat(payload, self.switch.name)
             return True
         return True  # unknown replication op: drop rather than misroute
+
+    # ------------------------------------------------------------------
+    # Controller command handling (epoch-fenced, management plane)
+    # ------------------------------------------------------------------
+    def observe_controller_epoch(self, epoch: int) -> None:
+        """Adopt a newer controller epoch (reconstruction queries carry
+        it, so a successor's takeover fences the old leader at every
+        switch it can reach even before its first command)."""
+        if epoch > self.controller_epoch:
+            self.controller_epoch = epoch
+
+    def apply_controller_command(self, command: Any) -> bool:
+        """Validate and apply one configuration command.
+
+        Returns False — counting a fenced command — when the command's
+        epoch is below the highest this switch has obeyed: it was issued
+        by a since-deposed leader and must not land."""
+        if command.epoch < self.controller_epoch:
+            self.fenced_commands += 1
+            self.deployment.tracer.emit(
+                self.sim.now,
+                "controller",
+                self.switch.name,
+                "fenced-command",
+                kind=command.kind,
+                epoch=command.epoch,
+                current=self.controller_epoch,
+            )
+            return False
+        self.controller_epoch = command.epoch
+        if command.kind == "set_chain":
+            self.sro.set_chain(command.group, command.payload)
+        elif command.kind == "set_catching_up":
+            self.sro.set_catching_up(command.group, bool(command.payload))
+        else:
+            raise ValueError(f"unknown controller command kind {command.kind!r}")
+        return True
 
     # ------------------------------------------------------------------
     # Register group plumbing (called by the deployment)
@@ -448,6 +491,8 @@ class SwiShmemDeployment:
         heartbeat_period: Optional[float] = None,
         heartbeat_timeout: Optional[float] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        controller_replicas: int = 1,
+        lease_duration: Optional[float] = None,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -497,16 +542,18 @@ class SwiShmemDeployment:
         from repro.protocols.controller import (
             DEFAULT_HEARTBEAT_PERIOD,
             DEFAULT_HEARTBEAT_TIMEOUT,
-            CentralController,
         )
+        from repro.protocols.election import ControllerCluster
         from repro.protocols.failover import FailoverCoordinator
 
         self.managers: Dict[str, SwiShmemManager] = {
             switch.name: SwiShmemManager(switch, self) for switch in self.switches
         }
         self.failover = FailoverCoordinator(self)
-        self.controller = CentralController(
+        self.controller = ControllerCluster(
             self,
+            replicas=controller_replicas,
+            lease=lease_duration,
             detection=detection,
             heartbeat_period=(
                 heartbeat_period
@@ -621,6 +668,17 @@ class SwiShmemDeployment:
     def fail_switch(self, name: str) -> None:
         """Fail-stop a switch (the controller will detect it)."""
         self.topo.fail_node(name)
+
+    def shutdown(self) -> None:
+        """Tear the deployment down: stop the controller cluster (all
+        replicas, lease timers, heartbeat generators) and every periodic
+        EWO sync generator, so that once in-flight events drain the sim
+        queue is empty.  The deployment stays inspectable afterwards."""
+        self.controller.stop()
+        for manager in self.managers.values():
+            for generator in manager._sync_generators.values():
+                generator.stop()
+            manager._sync_generators.clear()
 
     def ewo_states(self, spec: RegisterSpec) -> List[Dict[Any, Any]]:
         """Every live replica's readable EWO state (convergence checks)."""

@@ -1,4 +1,4 @@
-"""The central controller: failure detection, chain repair, recovery.
+"""Controller replicas: failure detection, chain repair, recovery, leases.
 
 Paper section 6.3 assumes "a central controller can detect which
 switches have failed" and sketches the two phases we implement:
@@ -25,31 +25,47 @@ switches have failed" and sketches the two phases we implement:
 
 **Failure detection** (``detection="heartbeat"``, the default) is real:
 every switch's packet generator emits a :class:`Heartbeat` packet each
-``heartbeat_period`` toward the controller's *host switch* — the switch
-whose management port the controller hangs off.  Heartbeats ride the
-data plane, so loss, partitions, and nemesis interference affect them
-like any other packet; a switch whose beacons stop for longer than
+``heartbeat_period`` toward the *leader's host switch* — the switch
+whose management port the acting controller hangs off.  Heartbeats ride
+the data plane, so loss, partitions, and nemesis interference affect
+them like any other packet; a switch whose beacons stop for longer than
 ``heartbeat_timeout`` is declared failed.  Detection latency is bounded
-by ``heartbeat_period + heartbeat_timeout`` (one period of beacon
-spacing plus the timeout; the detector sweep adds a quarter period,
-covered by the beacon-spacing term as long as in-network delay stays
-under ~3/4 period).  Because the detector is no longer an oracle, it
-can be *wrong*: a partitioned-but-alive switch is excised (split-brain),
-and its stale in-flight chain updates are rejected by epoch fencing
-(see ``ChainUpdate.epoch``).  When beacons from a suspected switch
-resume, the controller counts a false positive and re-admits it through
-the catch-up + snapshot path.
+by ``heartbeat_period + heartbeat_timeout``.  Because the detector is
+no longer an oracle, it can be *wrong*: a partitioned-but-alive switch
+is excised (split-brain), and its stale in-flight chain updates are
+rejected by epoch fencing (see ``ChainUpdate.epoch``).  When beacons
+from a suspected switch resume, the controller counts a false positive
+and re-admits it through the catch-up + snapshot path.
+
+**High availability** (this module + :mod:`repro.protocols.election`):
+the controller itself is replicated.  Each :class:`CentralController`
+instance is one *replica* of the control plane; at most one holds the
+leadership lease at a time and actually detects, repairs, and recovers.
+A leader periodically extends its lease and broadcasts
+:class:`~repro.protocols.messages.LeaseRenewal` to the standbys; when
+renewals stop, a standby takes over after a margin provably past the
+incumbent's self-fencing time, allocates a fresh controller epoch, and
+*reconstructs* its view — chain membership, epochs, in-flight
+recoveries, last-heard times — by querying the live switches rather
+than trusting its own stale state.  Every configuration push travels as
+an epoch-fenced :class:`~repro.protocols.messages.ControllerCommand`;
+switches reject commands from a deposed leader.  An in-flight snapshot
+transfer orphaned by a leader crash keeps streaming (it is driven by
+the source switch's control plane), but its completion callback no-ops
+at the dead leader; the successor finds the target still in catch-up
+during reconstruction and re-drives the transfer to completion, so no
+committed SRO write is lost across a controller failover.
 
 Two narrow out-of-band assumptions remain, both documented properties
-of a separate management network: configuration pushes (chain
-descriptors, multicast membership) reach live switches directly, and
-the controller notices its *own* host switch dying via the management
-port (it then re-homes to the next live switch).
+of a separate management network: configuration pushes, lease traffic,
+and reconstruction queries reach live endpoints in ``config_latency``
+(unless an explicit controller partition blocks them), and a leader
+notices its *own* host switch dying via the management port (it then
+re-homes to the next live switch).
 
 ``detection="oracle"`` restores the seed behaviour — periodic liveness
 polling of the fail-stop flag with period ``detect_period`` — for
 experiments that want detection latency out of the picture.
-Configuration pushes to switch control planes pay ``config_latency``.
 """
 
 from __future__ import annotations
@@ -57,14 +73,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from repro.net.headers import SwiShmemHeader, SwiShmemOp
-from repro.net.packet import Packet
-from repro.protocols.messages import Heartbeat
+from repro.core.chain import ChainDescriptor
+from repro.protocols.messages import (
+    ControllerCommand,
+    GroupView,
+    Heartbeat,
+    LeaseRenewal,
+    ReconstructQuery,
+    ReconstructReply,
+)
 from repro.sim.engine import Process
-from repro.switch.pktgen import PacketGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import SwiShmemDeployment
+    from repro.protocols.election import ControllerCluster
 
 __all__ = ["CentralController", "FailureEvent", "RecoveryEvent"]
 
@@ -93,6 +115,8 @@ class FailureEvent:
     #: True when the suspected switch was actually alive at detection
     #: time (heartbeat loss / partition, not a crash).
     false_positive: bool = False
+    #: Controller epoch under which the failure was detected.
+    epoch: int = 0
 
     @property
     def detection_latency(self) -> float:
@@ -109,8 +133,13 @@ class RecoveryEvent:
     promoted_at: Dict[int, float] = field(default_factory=dict)
     #: True when this is a re-admission of a suspected-but-alive switch.
     readmission: bool = False
+    #: True when a successor leader re-drove a recovery it found
+    #: stranded mid-catch-up during reconstruction.
+    redriven: bool = False
     #: Snapshot-transfer attempts per group (retries via on_failure).
     transfer_attempts: Dict[int, int] = field(default_factory=dict)
+    #: Controller epoch under which the recovery was initiated.
+    epoch: int = 0
 
     def sro_recovery_time(self, group_id: int) -> Optional[float]:
         promoted = self.promoted_at.get(group_id)
@@ -120,30 +149,48 @@ class RecoveryEvent:
 
 
 class CentralController:
-    """Deployment-wide failure detector and reconfiguration engine."""
+    """One controller replica: detector + reconfiguration engine.
+
+    Constructed and owned by a
+    :class:`~repro.protocols.election.ControllerCluster`; only while
+    holding the leadership lease does a replica act on the deployment.
+    Every mutating path checks :meth:`_is_active`, so events scheduled
+    by a since-deposed leader fire as harmless no-ops.
+    """
 
     def __init__(
         self,
-        deployment: "SwiShmemDeployment",
-        detect_period: float = DEFAULT_DETECT_PERIOD,
-        config_latency: float = DEFAULT_CONFIG_LATENCY,
-        drain_delay: float = DEFAULT_DRAIN_DELAY,
-        detection: str = "heartbeat",
-        heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD,
-        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        cluster: "ControllerCluster",
+        replica_id: int,
     ) -> None:
-        if detection not in ("heartbeat", "oracle"):
-            raise ValueError(f"unknown detection mode {detection!r}")
-        self.deployment = deployment
-        self.sim = deployment.sim
-        self.detect_period = detect_period
-        self.config_latency = config_latency
-        self.drain_delay = drain_delay
-        self.detection = detection
-        self.heartbeat_period = heartbeat_period
-        self.heartbeat_timeout = heartbeat_timeout
+        self.cluster = cluster
+        self.deployment: "SwiShmemDeployment" = cluster.deployment
+        self.sim = cluster.sim
+        self.replica_id = replica_id
+        # Config mirrored from the cluster (uniform across replicas).
+        self.detect_period = cluster.detect_period
+        self.config_latency = cluster.config_latency
+        self.drain_delay = cluster.drain_delay
+        self.detection = cluster.detection
+        self.heartbeat_period = cluster.heartbeat_period
+        self.heartbeat_timeout = cluster.heartbeat_timeout
+        # Leadership state.
+        self.role = "standby"
+        self.failed = False
+        self.epoch = 0
+        self._seen_epoch = 0
+        self.lease_expires = float("-inf")
+        #: Believed expiry of the current leader's lease (from renewals).
+        self.lease_view = self.sim.now + cluster.lease_duration
+        self.reconstructing = False
+        self._reconstruct_started = 0.0
+        self._reconstruct_replies: Dict[str, ReconstructReply] = {}
+        self._next_renew = 0.0
+        self._stopped = False
+        # Detection / repair state (leader-scoped; rebuilt on takeover).
+        names = self.deployment.switch_names
+        self.host: str = names[replica_id % len(names)]
         self._known_failed: Set[str] = set()
-        self._fail_times: Dict[str, float] = {}
         self._known_down_links: Set[frozenset] = set()
         self.link_events = 0
         self.failures: List[FailureEvent] = []
@@ -152,23 +199,19 @@ class CentralController:
         self.aborted_recoveries: List[Tuple[int, str, float]] = []
         #: (group, target) -> recovery generation.  Bumped every time a
         #: fresh catch-up is initiated, so snapshot events scheduled by a
-        #: superseded recovery (the member was excised and readmitted in
-        #: between) are ignored when they fire.
+        #: superseded recovery are ignored when they fire.
         self._recovery_gen: Dict[Tuple[int, str], int] = {}
-        #: Heartbeat bookkeeping (heartbeat mode only).
-        self.host: str = deployment.switch_names[0]
         self.heartbeats_received = 0
         self.false_positives = 0
         self.rehomes = 0
         self._last_heard: Dict[str, float] = {}
+        self._last_beacon = float("-inf")
         #: All deadlines are measured from max(last beacon, this base);
-        #: reset on (re-)homing so everyone gets a fresh grace window.
+        #: reset on (re-)homing and takeover for a fresh grace window.
         self._deadline_base = self.sim.now
-        self._hb_seq = 0
-        # Live telemetry (repro.obs).  The detection-latency histogram
-        # only sees real failures — false positives have no meaningful
-        # failed_at, so they get a counter instead.
-        metrics = deployment.metrics
+        # Live telemetry (repro.obs); instruments are registry-shared
+        # across replicas, so they aggregate naturally.
+        metrics = self.deployment.metrics
         self._m_heartbeats = metrics.counter("controller.heartbeats", "controller")
         self._m_failures = metrics.counter("controller.failures_detected", "controller")
         self._m_false_positives = metrics.counter(
@@ -178,36 +221,335 @@ class CentralController:
         self._m_detection_latency = metrics.histogram(
             "controller.detection_latency_seconds", "controller"
         )
-        self._hb_generators: Dict[str, PacketGenerator] = {}
-        if detection == "heartbeat":
-            for switch in deployment.switches:
-                self._start_heartbeat_for(switch.name)
-            self._detector = Process(
-                self.sim,
-                heartbeat_period / 4,
-                self._check_liveness,
-                name="controller:detect",
-            ).start()
-        else:
-            self._detector = Process(
-                self.sim, detect_period, self._poll, name="controller:detect"
-            ).start()
+        period = (
+            self.heartbeat_period / 4
+            if self.detection == "heartbeat"
+            else self.detect_period
+        )
+        self._process = Process(
+            self.sim,
+            period,
+            self._tick,
+            name=f"controller:replica-{replica_id}",
+        ).start()
 
+    # ------------------------------------------------------------------
+    # Leadership
+    # ------------------------------------------------------------------
     @property
     def detection_bound(self) -> float:
-        """Worst-case detection latency for a clean fail-stop."""
+        """Worst-case detection latency for a clean fail-stop (while a
+        leader is continuously active; controller failover adds
+        :attr:`ControllerCluster.failover_bound`)."""
         if self.detection == "heartbeat":
             return self.heartbeat_period + self.heartbeat_timeout
         return self.detect_period
 
+    def _is_active(self) -> bool:
+        """Whether this replica may act on the deployment *right now*:
+        it leads, its lease is unexpired, and it can reach the fabric."""
+        return (
+            not self.failed
+            and not self._stopped
+            and self.role == "leader"
+            and self.sim.now < self.lease_expires
+            and not self.cluster.mgmt_blocked(self)
+        )
+
+    @property
+    def is_active_leader(self) -> bool:
+        return self._is_active()
+
+    def _tick(self) -> None:
+        if self.failed or self._stopped:
+            return
+        if self.role == "leader":
+            if not self._lease_tick():
+                return
+            if self.reconstructing or self.cluster.mgmt_blocked(self):
+                return
+            if self.detection == "heartbeat":
+                self._check_liveness()
+            else:
+                self._poll()
+        else:
+            self._standby_tick()
+
+    def _lease_tick(self) -> bool:
+        """Extend/advertise the lease; returns False after stepping down."""
+        now = self.sim.now
+        if now >= self.lease_expires:
+            self._depose("lease-expired")
+            return False
+        if now >= self._next_renew:
+            if self._lease_health_ok():
+                self.lease_expires = now + self.cluster.lease_duration
+            self._next_renew = now + self.cluster.renew_period
+            self._broadcast_renewal()
+        return True
+
+    def _lease_health_ok(self) -> bool:
+        """Whether the leader may extend its own lease this round.
+
+        A leader that cannot reach the fabric must *not* extend: its
+        lease runs out, it self-fences, and a (hopefully connected)
+        standby takes over.  Reachability evidence is the management
+        path being unblocked plus — in heartbeat mode — at least one
+        switch beacon within the detection bound.  A solo replica has
+        no standby to defer to, so self-fencing buys nothing and its
+        lease self-extends unconditionally (the seed behaviour).
+        """
+        if len(self.cluster.replicas) == 1:
+            return True
+        if self.cluster.mgmt_blocked(self):
+            return False
+        if self.detection != "heartbeat":
+            return True
+        reference = max(self._last_beacon, self._deadline_base)
+        return self.sim.now - reference <= self.detection_bound
+
+    def _broadcast_renewal(self) -> None:
+        if self.cluster.mgmt_blocked(self):
+            return
+        renewal = LeaseRenewal(
+            epoch=self.epoch,
+            replica=self.replica_id,
+            expires_at=self.lease_expires,
+            sent_at=self.sim.now,
+        )
+        for peer in self.cluster.replicas:
+            if peer is self or peer.failed:
+                continue
+            self.sim.schedule(
+                self.config_latency,
+                self.cluster.deliver_renewal,
+                peer,
+                renewal,
+                label="controller:lease-renewal",
+            )
+
+    def on_lease_renewal(self, renewal: LeaseRenewal) -> None:
+        if self.failed or self._stopped:
+            return
+        if renewal.epoch < self._seen_epoch:
+            return  # stale advertisement from a deposed leader
+        self._seen_epoch = renewal.epoch
+        if (
+            self.role == "leader"
+            and renewal.replica != self.replica_id
+            and renewal.epoch > self.epoch
+        ):
+            self._depose("superseded")
+        self.lease_view = max(self.lease_view, renewal.expires_at)
+
+    def _standby_tick(self) -> None:
+        """Candidacy check: promote once the incumbent's advertised
+        lease is provably expired, rank-staggered so lower replica ids
+        go first and a successful takeover suppresses the rest."""
+        deadline = (
+            self.lease_view
+            + self.cluster.takeover_margin
+            + self.replica_id * self.cluster.takeover_stagger
+        )
+        if self.sim.now >= deadline:
+            self.cluster.activate(self)
+
+    def _depose(self, reason: str) -> None:
+        if self.role != "leader":
+            return
+        self.role = "standby"
+        self.reconstructing = False
+        self.lease_expires = float("-inf")
+        # Back off a full lease before self-candidacy, so a healthier
+        # replica (or a healed fabric) gets the first shot.
+        self.lease_view = max(self.lease_view, self.sim.now + self.cluster.lease_duration)
+        self.cluster.on_leader_deposed(self, reason)
+
+    # ------------------------------------------------------------------
+    # Takeover: state reconstruction from the switches
+    # ------------------------------------------------------------------
+    def begin_reconstruction(self) -> None:
+        """Query every switch for its replication view; distrust local
+        state inherited from a previous reign or observed second-hand."""
+        self.reconstructing = True
+        self._reconstruct_started = self.sim.now
+        self._reconstruct_replies = {}
+        self._known_failed = set()
+        self._last_heard = {}
+        self._last_beacon = float("-inf")
+        query = ReconstructQuery(
+            epoch=self.epoch, replica=self.replica_id, sent_at=self.sim.now
+        )
+        if not self.cluster.mgmt_blocked(self):
+            for name in self.deployment.switch_names:
+                self.sim.schedule(
+                    self.config_latency,
+                    self._answer_query,
+                    name,
+                    query,
+                    label="controller:reconstruct-query",
+                )
+        # Replies land at 2 x config_latency; close the window just after.
+        self.sim.schedule(
+            3 * self.config_latency,
+            self._finish_reconstruction,
+            self.epoch,
+            label="controller:reconstruct-done",
+        )
+
+    def _answer_query(self, name: str, query: ReconstructQuery) -> None:
+        """Runs at the switch's management port: snapshot its current
+        chain view and send it back.  Answering also installs the new
+        controller epoch, fencing any straggler commands from the old
+        leader even before the successor issues its first command."""
+        if self._stopped or self.cluster.mgmt_blocked(self):
+            return
+        manager = self.deployment.manager(name)
+        if manager.switch.failed:
+            return
+        manager.observe_controller_epoch(query.epoch)
+        views = tuple(
+            GroupView(
+                group=gid,
+                chain_version=state.chain.version,
+                members=state.chain.members,
+                catching_up=state.catching_up,
+            )
+            for gid, state in sorted(manager.sro.groups.items())
+        )
+        reply = ReconstructReply(
+            switch=name, epoch=query.epoch, groups=views, sent_at=self.sim.now
+        )
+        self.sim.schedule(
+            self.config_latency,
+            self._on_reconstruct_reply,
+            reply,
+            label="controller:reconstruct-reply",
+        )
+
+    def _on_reconstruct_reply(self, reply: ReconstructReply) -> None:
+        if (
+            self.failed
+            or self._stopped
+            or self.role != "leader"
+            or reply.epoch != self.epoch
+            or self.cluster.mgmt_blocked(self)
+        ):
+            return
+        self._reconstruct_replies[reply.switch] = reply
+        self._last_heard[reply.switch] = self.sim.now
+        self._last_beacon = self.sim.now
+
+    def _finish_reconstruction(self, epoch: int) -> None:
+        if (
+            self.failed
+            or self._stopped
+            or self.role != "leader"
+            or self.epoch != epoch
+        ):
+            return
+        self.reconstructing = False
+        replies = self._reconstruct_replies
+        if not self._is_active() or (
+            not replies and not self.cluster.has_pending_recoveries()
+        ):
+            # The fabric is unreachable (management partition, or every
+            # switch down with nothing queued to revive): abdicate
+            # rather than excising the whole deployment on no evidence.
+            # A later candidacy retries once conditions change.
+            self._depose("reconstruct-failed")
+            return
+        now = self.sim.now
+        deployment = self.deployment
+        # 1. Adopt any chain descriptor newer than our stale local copy
+        #    (the previous leader reconfigured after our last update).
+        for name in sorted(replies):
+            for view in replies[name].groups:
+                chain = deployment.chains.get(view.group)
+                if chain is not None and view.chain_version > chain.version:
+                    deployment.chains[view.group] = ChainDescriptor(
+                        chain_id=view.group,
+                        members=view.members,
+                        version=view.chain_version,
+                    )
+        # 2. Non-repliers are unreachable: excise them.  No FailureEvent
+        #    — failed_at is unknowable here; the detector re-reports if
+        #    they come back and fail again.
+        for name in deployment.switch_names:
+            if name in replies:
+                continue
+            self._known_failed.add(name)
+            for group_id, chain in sorted(deployment.chains.items()):
+                if name in chain and len(chain) > 1:
+                    self._push_chain(chain.without(name))
+            deployment.multicast.remove_member_everywhere(name)
+            deployment.failover.fail_transfers_from(name)
+        deployment.routing.recompute()
+        if deployment.manager(self.host).switch.failed:
+            self._rehome()
+        # 3. Repliers: re-admit any the old leader had excised (they are
+        #    demonstrably alive), and re-drive recoveries stranded in
+        #    catch-up when the old leader died mid-snapshot-transfer.
+        for name in sorted(replies):
+            reply = replies[name]
+            manager = deployment.manager(name)
+            excised = any(
+                name not in deployment.chains[v.group].members
+                for v in reply.groups
+                if v.group in deployment.chains
+            ) or any(
+                name not in deployment.multicast.get(gid).members
+                for gid in manager.ewo.groups
+            )
+            if excised:
+                self._readmit(name)
+                continue
+            redrive = [
+                v.group
+                for v in reply.groups
+                if v.group in deployment.chains
+                and v.catching_up
+                and name in deployment.chains[v.group].members
+            ]
+            if redrive:
+                event = RecoveryEvent(
+                    switch=name, started_at=now, redriven=True, epoch=self.epoch
+                )
+                self.recoveries.append(event)
+                self._m_recoveries.inc()
+                for group_id in redrive:
+                    gen = self._recovery_gen.get((group_id, name), 0) + 1
+                    self._recovery_gen[(group_id, name)] = gen
+                    self.sim.schedule(
+                        self.drain_delay,
+                        self._start_snapshot,
+                        group_id,
+                        name,
+                        event,
+                        1,
+                        frozenset(),
+                        gen,
+                        label="controller:snapshot-start",
+                    )
+            # Refresh switches holding descriptors older than ours.
+            for view in reply.groups:
+                chain = deployment.chains.get(view.group)
+                if chain is not None and view.chain_version < chain.version:
+                    self._send_command(
+                        manager,
+                        ControllerCommand(
+                            epoch=self.epoch,
+                            kind="set_chain",
+                            group=view.group,
+                            payload=chain,
+                        ),
+                    )
+        self.cluster.note_reconstruction(self, now - self._reconstruct_started)
+        self.cluster.drain_pending_recoveries(self)
+
     # ------------------------------------------------------------------
     # Failure detection
     # ------------------------------------------------------------------
-    def note_failure_time(self, switch_name: str) -> None:
-        """Experiments call this when injecting a fault, so detection
-        latency can be measured.  Optional."""
-        self._fail_times.setdefault(switch_name, self.sim.now)
-
     def _poll(self) -> None:
         """Oracle detection: read the fail-stop flag directly."""
         for switch in self.deployment.switches:
@@ -215,44 +557,14 @@ class CentralController:
                 self._on_failure_detected(switch.name)
         self._poll_links()
 
-    def _start_heartbeat_for(self, name: str) -> None:
-        """(Re)start the heartbeat packet generator on one switch."""
-        old = self._hb_generators.pop(name, None)
-        if old is not None:
-            old.stop()
-        switch = self.deployment.manager(name).switch
-        phase_stream = self.deployment.rng.stream(f"heartbeat-phase:{name}")
-        generator = PacketGenerator(
-            switch,
-            period=self.heartbeat_period,
-            body=lambda s=switch: self._emit_heartbeat(s),
-            name="heartbeat",
-            phase=phase_stream.uniform(0.1, 1.0) * self.heartbeat_period,
-        )
-        generator.start()
-        self._hb_generators[name] = generator
-
-    def _emit_heartbeat(self, switch) -> None:
-        if switch.failed:
-            return
-        self._hb_seq += 1
-        beacon = Heartbeat(origin=switch.name, seq=self._hb_seq, sent_at=self.sim.now)
-        if switch.name == self.host:
-            # The host's beacon reaches the controller over its own
-            # management port — no network hop to lose.
-            self.on_heartbeat(beacon)
-            return
-        packet = Packet(
-            swishmem=SwiShmemHeader(op=SwiShmemOp.HEARTBEAT, dst_node=self.host),
-            swishmem_payload=beacon,
-        )
-        switch.generate_packet(packet, self.host)
-
     def on_heartbeat(self, beacon: Heartbeat) -> None:
-        """A beacon reached the host switch (dispatched by its manager)."""
+        """A beacon reached this replica's management port."""
         self.heartbeats_received += 1
         self._m_heartbeats.inc()
         self._last_heard[beacon.origin] = self.sim.now
+        self._last_beacon = self.sim.now
+        if self.role != "leader":
+            return
         if beacon.origin in self._known_failed:
             if self.deployment.manager(beacon.origin).switch.failed:
                 # A stale beacon (delayed in flight) from a switch that
@@ -281,7 +593,7 @@ class CentralController:
         self._poll_links()
 
     def _rehome(self) -> None:
-        """Move the controller's management attachment to a live switch."""
+        """Move this replica's management attachment to a live switch."""
         for name in self.deployment.switch_names:
             manager = self.deployment.manager(name)
             if not manager.switch.failed and name not in self._known_failed:
@@ -309,12 +621,15 @@ class CentralController:
             self.deployment.routing.recompute()
 
     def _on_failure_detected(self, name: str) -> None:
+        if not self._is_active():
+            return
         self._known_failed.add(name)
         event = FailureEvent(
             switch=name,
-            failed_at=self._fail_times.get(name, self.sim.now),
+            failed_at=self.cluster._fail_times.get(name, self.sim.now),
             detected_at=self.sim.now,
             false_positive=not self.deployment.manager(name).switch.failed,
+            epoch=self.epoch,
         )
         self.failures.append(event)
         self._m_failures.inc()
@@ -328,7 +643,7 @@ class CentralController:
         # sequenced under the old configuration are rejected by members
         # that installed this one.
         for group_id, chain in list(self.deployment.chains.items()):
-            if name in chain:
+            if name in chain and len(chain) > 1:
                 repaired = chain.without(name)
                 self._push_chain(repaired)
                 event.chains_repaired.append(group_id)
@@ -343,21 +658,46 @@ class CentralController:
         if name == self.host and self.detection == "heartbeat":
             self._rehome()
 
-    def _push_chain(self, chain) -> None:
+    # ------------------------------------------------------------------
+    # Configuration distribution (epoch-fenced commands)
+    # ------------------------------------------------------------------
+    def _push_chain(self, chain: ChainDescriptor) -> None:
         """Distribute a descriptor to all live switches' control planes."""
+        if not self._is_active():
+            return
         self.deployment.chains[chain.chain_id] = chain
         for manager in self.deployment.managers.values():
             if manager.switch.failed:
                 continue
             if chain.chain_id not in manager.sro.groups:
                 continue
-            self.sim.schedule(
-                self.config_latency,
-                manager.sro.set_chain,
-                chain.chain_id,
-                chain,
-                label="controller:push-chain",
+            self._send_command(
+                manager,
+                ControllerCommand(
+                    epoch=self.epoch,
+                    kind="set_chain",
+                    group=chain.chain_id,
+                    payload=chain,
+                ),
             )
+
+    def _send_command(self, manager, command: ControllerCommand) -> None:
+        if self.cluster.mgmt_blocked(self):
+            return
+        self.sim.schedule(
+            self.config_latency,
+            self._deliver_command,
+            manager,
+            command,
+            label="controller:command",
+        )
+
+    def _deliver_command(self, manager, command: ControllerCommand) -> None:
+        # A partition that started after the send still swallows the
+        # in-flight command (the management path is down at delivery).
+        if manager.switch.failed or self.cluster.mgmt_blocked(self):
+            return
+        manager.apply_controller_command(command)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -372,12 +712,12 @@ class CentralController:
         switch = manager.switch
         if not switch.failed:
             raise ValueError(f"{name} has not failed; nothing to recover")
-        event = RecoveryEvent(switch=name, started_at=self.sim.now)
+        event = RecoveryEvent(switch=name, started_at=self.sim.now, epoch=self.epoch)
         self.recoveries.append(event)
         self._m_recoveries.inc()
         switch.recover()
         self._known_failed.discard(name)
-        self._fail_times.pop(name, None)
+        self.cluster._fail_times.pop(name, None)
         self._last_heard[name] = self.sim.now
         if (
             self.detection == "heartbeat"
@@ -388,7 +728,7 @@ class CentralController:
         if wipe_state:
             self._wipe_state(manager)
         if self.detection == "heartbeat":
-            self._start_heartbeat_for(name)
+            self.cluster.restart_heartbeat_for(name)
         # EWO: rejoin multicast groups and restart the sync generators.
         rejoined = False
         for group_id, state in manager.ewo.groups.items():
@@ -409,9 +749,9 @@ class CentralController:
         and the process restarts.
         """
         self._known_failed.discard(name)
-        self._fail_times.pop(name, None)
+        self.cluster._fail_times.pop(name, None)
         event = RecoveryEvent(
-            switch=name, started_at=self.sim.now, readmission=True
+            switch=name, started_at=self.sim.now, readmission=True, epoch=self.epoch
         )
         self.recoveries.append(event)
         self._m_recoveries.inc()
@@ -446,7 +786,15 @@ class CentralController:
                 appended = chain.without(name).with_appended(name)
             else:
                 appended = chain.with_appended(name)
-            manager.sro.set_catching_up(group_id, True)
+            self._send_command(
+                manager,
+                ControllerCommand(
+                    epoch=self.epoch,
+                    kind="set_catching_up",
+                    group=group_id,
+                    payload=True,
+                ),
+            )
             self._push_chain(appended)
             gen = self._recovery_gen.get((group_id, name), 0) + 1
             self._recovery_gen[(group_id, name)] = gen
@@ -511,6 +859,11 @@ class CentralController:
         exclude: frozenset = frozenset(),
         gen: Optional[int] = None,
     ) -> None:
+        if not self._is_active():
+            # Deposed (or crashed) since scheduling this.  If the target
+            # is still catching up, the successor's reconstruction finds
+            # it and re-drives the transfer under its own generation.
+            return
         if (
             gen is not None
             and gen != self._recovery_gen.get((group_id, target))
@@ -588,6 +941,8 @@ class CentralController:
         transfer,
     ) -> None:
         """A snapshot transfer died (source failed / retry budget spent)."""
+        if not self._is_active():
+            return
         if self.deployment.manager(target).switch.failed:
             return  # the target itself died; nothing to salvage here
         if attempt >= MAX_TRANSFER_ATTEMPTS:
@@ -612,7 +967,15 @@ class CentralController:
         event: RecoveryEvent,
         gen: Optional[int] = None,
     ) -> None:
-        """Catch-up finished: the new member replaces the read tail."""
+        """Catch-up finished: the new member replaces the read tail.
+
+        If the leader that started the transfer has since been deposed,
+        this is a no-op: the target stays in catch-up and the successor
+        re-drives the transfer during reconstruction, so a half-promoted
+        chain never leaks from a dead leader's callback.
+        """
+        if not self._is_active():
+            return
         if (
             gen is not None
             and gen != self._recovery_gen.get((group_id, target))
@@ -623,20 +986,21 @@ class CentralController:
             self._push_chain(chain.promoted())
         manager = self.deployment.manager(target)
         if not manager.switch.failed:
-            self.sim.schedule(
-                self.config_latency,
-                manager.sro.set_catching_up,
-                group_id,
-                False,
-                label="controller:end-catchup",
+            self._send_command(
+                manager,
+                ControllerCommand(
+                    epoch=self.epoch,
+                    kind="set_catching_up",
+                    group=group_id,
+                    payload=False,
+                ),
             )
         event.promoted_at[group_id] = self.sim.now
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
-        self._detector.stop()
-        for generator in self._hb_generators.values():
-            generator.stop()
+        self._stopped = True
+        self._process.stop()
 
     def last_failure(self) -> Optional[FailureEvent]:
         return self.failures[-1] if self.failures else None

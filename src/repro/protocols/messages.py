@@ -18,7 +18,15 @@ Message flow summary (paper section 6):
 ``SnapshotWrite``         snapshot replay toward a recovering switch (6.3)
 ``SnapshotAck``           recovering switch -> snapshot source
 ``Heartbeat``             every switch -> controller host switch (liveness)
+``LeaseRenewal``          leader replica -> standby replicas (management net)
+``ControllerCommand``     leader replica -> switch control plane (epoch-fenced)
+``ReconstructQuery``      new leader -> every switch (state reconstruction)
+``ReconstructReply``      switch -> new leader (per-group chain view)
 ========================  =======================================================
+
+The last four ride the out-of-band management network (scheduled
+callbacks paying ``config_latency``), not the data plane; they still
+carry ``wire_size`` so management-plane overhead can be accounted.
 """
 
 from __future__ import annotations
@@ -40,6 +48,11 @@ __all__ = [
     "SnapshotWrite",
     "SnapshotAck",
     "Heartbeat",
+    "LeaseRenewal",
+    "ControllerCommand",
+    "ReconstructQuery",
+    "GroupView",
+    "ReconstructReply",
 ]
 
 _token_counter = itertools.count(1)
@@ -281,3 +294,90 @@ class Heartbeat:
     def wire_size(self) -> int:
         # origin id (2) + seq (4) + timestamp (6) on top of framing
         return _BASE_MSG_BYTES + 12
+
+
+@dataclass(frozen=True)
+class LeaseRenewal:
+    """Leadership lease advertisement, leader -> standby replicas.
+
+    A standby's takeover deadline is computed from ``expires_at`` (the
+    leader's own self-fencing time), never from receipt time, so the
+    successor provably activates after the incumbent has stopped.
+    """
+
+    epoch: int
+    replica: int
+    expires_at: float
+    sent_at: float
+
+    @property
+    def wire_size(self) -> int:
+        # epoch (4) + replica id (2) + two timestamps (6 each)
+        return _BASE_MSG_BYTES + 18
+
+
+@dataclass(frozen=True)
+class ControllerCommand:
+    """One epoch-fenced configuration command, leader -> switch.
+
+    Switches track the highest controller epoch they have ever obeyed
+    and reject commands stamped with a lower one — a deposed leader's
+    in-flight reconfiguration cannot be applied after its successor has
+    taken over (section 6.3's split-brain protection, lifted from the
+    chain to the controller itself).
+    """
+
+    epoch: int
+    kind: str  # "set_chain" | "set_catching_up"
+    group: int
+    payload: Any = None
+
+    @property
+    def wire_size(self) -> int:
+        # epoch (4) + kind (1) + descriptor/flag payload estimate (16)
+        return _BASE_MSG_BYTES + 21
+
+
+@dataclass(frozen=True)
+class ReconstructQuery:
+    """New leader asks one switch for its replication view (all groups)."""
+
+    epoch: int
+    replica: int
+    sent_at: float
+
+    @property
+    def wire_size(self) -> int:
+        return _BASE_MSG_BYTES + 12
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """One SRO group's state as reported by a switch."""
+
+    group: int
+    chain_version: int
+    members: Tuple[str, ...]
+    catching_up: bool
+
+
+@dataclass(frozen=True)
+class ReconstructReply:
+    """A switch's answer to a :class:`ReconstructQuery`.
+
+    ``groups`` carries one :class:`GroupView` per SRO group the switch
+    replicates — enough for a fresh leader to rebuild chain membership,
+    spot members stranded mid-catch-up, and adopt any descriptor newer
+    than its stale local copy.
+    """
+
+    switch: str
+    epoch: int
+    groups: Tuple[GroupView, ...]
+    sent_at: float
+
+    @property
+    def wire_size(self) -> int:
+        # per group: id (2) + version (4) + members (4 each) + flag (1)
+        per_group = sum(7 + 4 * len(g.members) for g in self.groups)
+        return _BASE_MSG_BYTES + 8 + per_group

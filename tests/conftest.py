@@ -3,10 +3,19 @@
 Most fixtures build small deployments; tests that need special
 parameters (loss, sync periods, pending-slot sharing) construct their
 own via the ``make_deployment`` factory fixture.
+
+Also installs a per-test wall-clock timeout (``--per-test-timeout``,
+default 120 s) so a hung simulation — an event loop that never drains,
+a process that reschedules forever — fails that one test instead of
+wedging the whole CI job.  Hand-rolled on ``SIGALRM`` because the
+environment has no pytest-timeout plugin; on platforms without
+``SIGALRM`` (or off the main thread) it degrades to a no-op.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 from typing import Callable, List, Optional, Tuple
 
 import pytest
@@ -17,6 +26,43 @@ from repro.net.topology import Topology, build_full_mesh
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.switch.pisa import PisaSwitch
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--per-test-timeout",
+        type=float,
+        default=120.0,
+        help="wall-clock seconds allowed per test (0 disables); enforced "
+        "via SIGALRM, so a runaway simulation fails loudly instead of "
+        "hanging the run",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = item.config.getoption("--per-test-timeout")
+    can_alarm = (
+        limit > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded --per-test-timeout={limit:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -509,6 +509,46 @@ class TestInvariantSuite:
         assert suite.report.count("config_consistent") >= 1
 
 
+class TestCombinedAdversities:
+    def test_partition_plus_nemesis_during_sro_writes(self, make_deployment):
+        """Satellite scenario: a topology partition PLUS nemesis
+        duplication/delay hitting the data plane while SRO writes are in
+        flight.  Every invariant must stay green — the suspected-but-
+        alive side is excised and readmitted, duplicates are deduped,
+        and no committed write is lost."""
+        dep, topo, _ = make_deployment(4, sync_period=1e-3)
+        sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=256))
+        ctr = dep.declare(RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER))
+        nemesis = Nemesis(
+            seed=21, duplicate_prob=0.3, delay_prob=0.3, max_delay=150e-6
+        ).install(topo)
+        injector = FaultInjector(dep, seed=21)
+        injector.partition(4e-3, duration=6e-3, side_a=["s3"])
+        suite = InvariantSuite(dep).start(period=0.5e-3)
+        counter = [0]
+
+        def workload():
+            i = counter[0]
+            counter[0] += 1
+            dep.manager("s0").register_write(sro, f"k{i % 10}", i)
+            dep.manager(f"s{i % 3}").register_increment(ctr, "c", 1)
+            if dep.sim.now < 30e-3:
+                dep.sim.schedule(300e-6, workload)
+
+        dep.sim.schedule(1e-3, workload)
+        dep.sim.run(until=0.1)
+        report = suite.finalize()
+        assert report.ok, report.summary()
+        assert all(count > 0 for count in report.checks.values())
+        # the adversities actually bit
+        assert nemesis.packets_duplicated > 0 and nemesis.packets_delayed > 0
+        assert any(e.false_positive for e in dep.controller.failures)
+        # the partitioned side came back as a full member
+        assert any(r.readmission for r in dep.controller.recoveries)
+        assert "s3" in dep.chains[sro.group_id]
+        assert dep.manager("s3").sro.groups[sro.group_id].catching_up is False
+
+
 class TestChaosSoakMini:
     """A miniature seeded soak; the full-size one lives in
     ``benchmarks/bench_chaos_soak.py``.

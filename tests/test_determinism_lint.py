@@ -1,0 +1,88 @@
+"""The determinism lint: the repo is clean, and violations are caught.
+
+Chaos replays and benchmark digests are only byte-identical per seed if
+no code path reaches the process-global :mod:`random` generator.  The
+lint in ``tools/lint_determinism.py`` enforces that statically; these
+tests pin its behavior and keep the tree clean under it.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_PATH = os.path.join(REPO_ROOT, "tools", "lint_determinism.py")
+
+spec = importlib.util.spec_from_file_location("lint_determinism", LINT_PATH)
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+class TestRepoIsClean:
+    def test_cli_passes_on_repo(self):
+        proc = subprocess.run(
+            [sys.executable, LINT_PATH],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "determinism lint: OK" in proc.stdout
+
+    def test_scans_all_source_roots(self):
+        roots = [
+            r for r in lint.DEFAULT_ROOTS
+            if os.path.isdir(os.path.join(REPO_ROOT, r))
+        ]
+        assert "src" in roots and "benchmarks" in roots and "tests" in roots
+
+
+class TestViolationsCaught:
+    def _lint_source(self, tmp_path, source):
+        target = tmp_path / "snippet.py"
+        target.write_text(source)
+        return lint.lint_file(str(target))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrandom.random()\n",
+            "import random\nrandom.seed(42)\n",
+            "import random\nx = random.randint(0, 9)\n",
+            "import random as rnd\nrnd.shuffle([1, 2])\n",
+            "from random import randint\n",
+            "from random import Random, choice\n",
+        ],
+    )
+    def test_global_generator_use_flagged(self, tmp_path, source):
+        violations = self._lint_source(tmp_path, source)
+        assert len(violations) == 1
+        path, line, message = violations[0]
+        assert line > 0
+        assert "unseeded" in message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrng = random.Random(7)\n",
+            "from random import Random\nrng = Random(7)\n",
+            "from repro.sim.random import SeededRng\n",
+            # attribute named like the module on another object is fine
+            "class C:\n    random = 1\nc = C()\nc.random\n",
+        ],
+    )
+    def test_seeded_use_allowed(self, tmp_path, source):
+        assert self._lint_source(tmp_path, source) == []
+
+    def test_exempt_module_skipped(self):
+        exempt = os.path.join(REPO_ROOT, "src", lint.EXEMPT_SUFFIX)
+        assert os.path.exists(exempt)
+        assert lint.lint_file(exempt) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        violations = self._lint_source(tmp_path, "def broken(:\n")
+        assert len(violations) == 1
+        assert "syntax error" in violations[0][2]

@@ -1,0 +1,62 @@
+"""The per-test wall-clock timeout installed by ``tests/conftest.py``.
+
+Runs a throwaway pytest session in a subprocess (reusing this suite's
+conftest) so the SIGALRM hook is exercised end to end: a hung test must
+fail with ``TimeoutError`` instead of wedging the session, and a fast
+test must be untouched by an armed timer.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_mini_suite(tmp_path, test_body, timeout_flag):
+    with open(os.path.join(REPO_ROOT, "tests", "conftest.py")) as fh:
+        (tmp_path / "conftest.py").write_text(fh.read())
+    (tmp_path / "test_mini.py").write_text(test_body)
+    env = os.environ.copy()
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [
+            sys.executable, "-m", "pytest", "test_mini.py", "-q",
+            "-p", "no:cacheprovider", timeout_flag,
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def test_hung_test_fails_with_timeout(tmp_path):
+    proc = _run_mini_suite(
+        tmp_path,
+        "import time\n\ndef test_hang():\n    time.sleep(30)\n",
+        "--per-test-timeout=0.5",
+    )
+    assert proc.returncode != 0
+    assert "TimeoutError" in proc.stdout
+    assert "exceeded --per-test-timeout" in proc.stdout
+
+
+def test_fast_test_unaffected_by_armed_timer(tmp_path):
+    proc = _run_mini_suite(
+        tmp_path,
+        "import time\n\ndef test_quick():\n    time.sleep(0.05)\n",
+        "--per-test-timeout=5",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_zero_disables_enforcement(tmp_path):
+    proc = _run_mini_suite(
+        tmp_path,
+        "import time\n\ndef test_slowish():\n    time.sleep(0.2)\n",
+        "--per-test-timeout=0",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

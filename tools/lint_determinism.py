@@ -1,0 +1,133 @@
+"""Determinism lint: forbid unseeded module-level ``random`` usage.
+
+Every chaos run, benchmark, and failover test in this repo promises
+byte-identical replays for a given seed.  One stray call into the
+process-global :mod:`random` generator (``random.random()``,
+``random.shuffle(...)``, ``from random import randint``) silently
+breaks that promise — the global generator is shared, unseeded by
+default, and perturbed by import order.
+
+This lint walks the AST of every Python file and flags:
+
+* any attribute access on the ``random`` module (under any import
+  alias) other than ``random.Random`` — constructing an explicitly
+  seeded instance is the one sanctioned use;
+* any ``from random import X`` where ``X`` is not ``Random``.
+
+``src/repro/sim/random.py`` is exempt: it is the module that wraps the
+stdlib generator behind :class:`SeededRng`, the seam everything else
+must go through.
+
+Run from the repo root (CI does)::
+
+    python tools/lint_determinism.py [paths...]
+
+Exits non-zero and prints ``path:line: message`` for each violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Tuple
+
+#: Paths (relative to the repo root) scanned when none are given.
+DEFAULT_ROOTS = ("src", "benchmarks", "tests", "tools", "examples")
+
+#: The one module allowed to touch stdlib ``random`` directly.
+EXEMPT_SUFFIX = os.path.join("repro", "sim", "random.py")
+
+#: The one attribute of the ``random`` module code may use: the
+#: explicitly seeded generator class.
+ALLOWED_ATTR = "Random"
+
+Violation = Tuple[str, int, str]
+
+
+class _RandomUseVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.aliases: set = set()
+        self.violations: List[Violation] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            for alias in node.names:
+                if alias.name != ALLOWED_ATTR:
+                    self.violations.append((
+                        self.path,
+                        node.lineno,
+                        f"'from random import {alias.name}' pulls from the "
+                        f"unseeded process-global generator; use "
+                        f"repro.sim.random.SeededRng (or random.Random)",
+                    ))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.aliases
+            and node.attr != ALLOWED_ATTR
+        ):
+            self.violations.append((
+                self.path,
+                node.lineno,
+                f"'{node.value.id}.{node.attr}' uses the unseeded "
+                f"process-global generator; use repro.sim.random.SeededRng "
+                f"(or construct a seeded random.Random)",
+            ))
+        self.generic_visit(node)
+
+
+def lint_file(path: str) -> List[Violation]:
+    if path.endswith(EXEMPT_SUFFIX):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    visitor = _RandomUseVisitor(path)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def lint_paths(paths: List[str]) -> List[Violation]:
+    violations: List[Violation] = []
+    for root in paths:
+        if os.path.isfile(root):
+            violations.extend(lint_file(root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [
+                d for d in dirnames
+                if d not in ("__pycache__",) and not d.endswith(".egg-info")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    violations.extend(lint_file(os.path.join(dirpath, name)))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or [r for r in DEFAULT_ROOTS if os.path.isdir(r)]
+    violations = lint_paths(roots)
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"determinism lint: {len(violations)} violation(s)")
+        return 1
+    print("determinism lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
