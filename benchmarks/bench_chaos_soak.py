@@ -54,6 +54,7 @@ from repro.chaos import FaultInjector, InvariantSuite, Nemesis
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec
 from repro.net.topology import Topology, build_full_mesh
+from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
@@ -87,6 +88,7 @@ class SoakResult:
     failover_bound: float = 0.0
     leader_changes: int = 0
     controller_crashes: int = 0
+    sro_group: int = 0
 
 
 def run_chaos_soak(
@@ -95,6 +97,7 @@ def run_chaos_soak(
     switches: int = 5,
     metrics: MetricsRegistry = NULL_REGISTRY,
     controller_chaos: bool = False,
+    flightrec: FlightRecorder = NULL_FLIGHT_RECORDER,
 ) -> SoakResult:
     sim = Simulator()
     topo = Topology(sim, SeededRng(seed))
@@ -106,6 +109,7 @@ def run_chaos_soak(
         sync_period=1e-3,
         metrics=metrics,
         controller_replicas=3 if controller_chaos else 1,
+        flight_recorder=flightrec,
     )
     sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=256))
     ctr = dep.declare(RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER))
@@ -202,6 +206,12 @@ def run_chaos_soak(
     )
     digest = hashlib.sha256(repr(history).encode("utf-8")).hexdigest()
 
+    # Ring-truncation visibility: export the tracer's and the flight
+    # recorder's eviction/occupancy gauges so bench sidecars show when
+    # a post-mortem may be missing its earliest history.
+    dep.tracer.bind_metrics(metrics)
+    flightrec.bind_metrics(metrics)
+
     return SoakResult(
         seed=seed,
         duration=duration,
@@ -225,6 +235,7 @@ def run_chaos_soak(
         controller_crashes=sum(
             1 for r in injector.log if r.kind == "controller-crash"
         ),
+        sro_group=sro.group_id,
     )
 
 
@@ -422,6 +433,50 @@ def main(argv: List[str]) -> int:
             f"FAIL: metrics report {lost_write_violations} no-lost-write "
             f"violations but the invariant suite recorded {replay_lost}"
         )
+    # Flight-recorder neutrality: a replay with causal span recording ON
+    # must still be byte-identical to the uninstrumented run (tracing
+    # contributes zero wire bytes and zero events).  The recorded spans
+    # then get causally sanity-checked via the TraceQuery API.
+    flightrec = FlightRecorder()
+    traced = run_chaos_soak(
+        args.seeds[0], duration=duration, flightrec=flightrec,
+        controller_chaos=args.controller_chaos,
+    )
+    if traced.digest != results[0].digest:
+        failures += 1
+        print(
+            f"FAIL: seed {args.seeds[0]} flight-recorder replay digest "
+            f"{traced.digest[:12]} != original {results[0].digest[:12]}"
+        )
+    else:
+        print(
+            f"determinism: seed {args.seeds[0]} flight-recorder replay digest "
+            f"matches ({traced.digest[:12]}, {flightrec.recorded} spans recorded)"
+        )
+    committed_trace = next(
+        (
+            tid
+            for tid in flightrec.traces_for_key(traced.sro_group)
+            if flightrec.query(trace_id=tid).span_count("sro.write.commit")
+        ),
+        None,
+    )
+    if committed_trace is None:
+        failures += 1
+        print("FAIL: flight recorder captured no committed write trace")
+    else:
+        query = flightrec.query(trace_id=committed_trace)
+        try:
+            query.assert_happens_before("sro.write.initiate", "sro.write.commit")
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAIL: causal order broken in {committed_trace}: {exc}")
+        else:
+            print(
+                f"causal: trace {committed_trace} initiate -> commit ordered, "
+                f"chain depth {query.max_chain_depth()}, "
+                f"nodes {', '.join(query.nodes())}"
+            )
     if args.metrics_jsonl:
         written = registry.write_jsonl(args.metrics_jsonl)
         print(f"metrics: wrote {written} instruments to {args.metrics_jsonl}")

@@ -25,6 +25,7 @@ from repro.analysis.linearizability import check_history
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, RegisterSpec
 from repro.net.topology import Topology, build_full_mesh
+from repro.obs.flightrec import FlightRecorder
 from repro.sim.engine import Simulator
 from repro.sim.random import SeededRng
 from repro.switch.control import DEFAULT_OP_LATENCY
@@ -42,13 +43,19 @@ class ChainResult:
     linearizable_keys: int
     checked_keys: int
     violations: int
+    #: Full evidence for any violation: per-operation intervals plus the
+    #: causal flight-recorder timeline (empty when linearizable).
+    explanation: str = ""
 
 
 def run_chain(length: int, seed: int = 77, keys: int = 4, writes_per_key: int = 6) -> ChainResult:
     sim = Simulator()
     topo = Topology(sim, SeededRng(seed))
     switches = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), length)
-    deployment = SwiShmemDeployment(sim, topo, switches, record_history=True)
+    flightrec = FlightRecorder()
+    deployment = SwiShmemDeployment(
+        sim, topo, switches, record_history=True, flight_recorder=flightrec
+    )
     spec = deployment.declare(RegisterSpec("reg", Consistency.SRO, capacity=64))
     # concurrent writers on rotating switches, readers interleaved
     for k in range(keys):
@@ -66,7 +73,7 @@ def run_chain(length: int, seed: int = 77, keys: int = 4, writes_per_key: int = 
                 lambda r=reader, k=k: _read(r, spec, f"key{k}"),
             )
     sim.run(until=0.2)
-    report = check_history(deployment.history)
+    report = check_history(deployment.history, flight_recorder=flightrec)
     stats = [
         deployment.manager(name).sro.stats_for(spec.group_id)
         for name in deployment.switch_names
@@ -82,6 +89,7 @@ def run_chain(length: int, seed: int = 77, keys: int = 4, writes_per_key: int = 
         linearizable_keys=report.linearizable_keys,
         checked_keys=report.checked_keys,
         violations=len(report.violations),
+        explanation=report.explain() if not report.ok else "",
     )
 
 
@@ -126,7 +134,11 @@ def test_sro_linearizable_at_every_chain_length(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report(results)
     for r in results:
-        assert r.violations == 0, f"chain {r.chain_length}: {r.violations} violations"
+        # On failure the message is the full post-mortem: each key's
+        # operation intervals plus the causal timeline of its writes.
+        assert r.violations == 0, (
+            f"chain {r.chain_length}: {r.violations} violation(s)\n{r.explanation}"
+        )
         assert r.writes == 24  # 4 keys x 6 writes all committed
 
     # Write latency includes at least the writer's control-plane op and

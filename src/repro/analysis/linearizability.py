@@ -28,7 +28,12 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis.history import HistoryRecorder, Operation
 
-__all__ = ["check_key_linearizable", "check_history", "LinearizabilityReport"]
+__all__ = [
+    "check_key_linearizable",
+    "check_history",
+    "explain_violation",
+    "LinearizabilityReport",
+]
 
 
 class _SearchBudgetExceeded(RuntimeError):
@@ -133,6 +138,10 @@ class LinearizabilityReport:
         self.checked_keys = 0
         self.linearizable_keys = 0
         self.violations: List[Tuple[int, Any]] = []
+        #: Per-violation human-readable explanations (operation history
+        #: plus causal timeline when a flight recorder was supplied),
+        #: parallel to :attr:`violations`.
+        self.explanations: List[str] = []
 
     @property
     def ok(self) -> bool:
@@ -144,6 +153,12 @@ class LinearizabilityReport:
             return 0.0
         return len(self.violations) / self.checked_keys
 
+    def explain(self) -> str:
+        """Every violation's full story, ready for an assertion message."""
+        if self.ok:
+            return "linearizable: no violations"
+        return "\n\n".join(self.explanations)
+
     def __repr__(self) -> str:
         return (
             f"<LinearizabilityReport {self.linearizable_keys}/{self.checked_keys} keys ok, "
@@ -151,17 +166,49 @@ class LinearizabilityReport:
         )
 
 
+def explain_violation(
+    operations: Sequence[Operation],
+    group: int,
+    key: Any,
+    flight_recorder: Any = None,
+) -> str:
+    """Render one non-linearizable key's evidence: every operation's
+    invocation/response interval in invocation order, followed by the
+    causally ordered flight-recorder timeline when one is available.
+
+    This is what replaces a bare ``assert report.ok`` failure: instead
+    of "key k7 is not linearizable", the reader sees which read returned
+    which stale value between which writes, and — with the recorder on —
+    which switch held the pending bit and where the chain hop died.
+    """
+    lines = [f"non-linearizable history for group={group} key={key!r}:"]
+    for op in sorted(operations, key=lambda o: (o.invoked_at, o.op_id)):
+        end = f"{op.completed_at * 1e6:10.2f}us" if op.complete else "   (never)"
+        lines.append(
+            f"  [{op.invoked_at * 1e6:10.2f}us -> {end}] "
+            f"{op.kind:<5s} @{op.node:<6s} {op.key!r} = {op.value!r}"
+            f"{'' if op.complete else '  [incomplete]'}"
+        )
+    if flight_recorder is not None and getattr(flight_recorder, "enabled", False):
+        lines.append(flight_recorder.render_timeline(group=group, key=key))
+    return "\n".join(lines)
+
+
 def check_history(
     recorder: HistoryRecorder,
     initial: Any = None,
     group: Optional[int] = None,
     max_steps: int = 2_000_000,
+    flight_recorder: Any = None,
 ) -> LinearizabilityReport:
     """Check every (group, key) sub-history independently.
 
     Per-register linearizability is exactly what the paper promises for
     SRO ("SRO provides per-register linearizability", section 6.1) —
     there is no cross-key ordering guarantee to check.
+
+    Pass the deployment's ``flight_recorder`` to get each violation's
+    causal timeline bundled into :attr:`LinearizabilityReport.explanations`.
     """
     report = LinearizabilityReport()
     for key_group, key in recorder.keys():
@@ -173,4 +220,9 @@ def check_history(
             report.linearizable_keys += 1
         else:
             report.violations.append((key_group, key))
+            report.explanations.append(
+                explain_violation(
+                    operations, key_group, key, flight_recorder=flight_recorder
+                )
+            )
     return report

@@ -94,6 +94,35 @@ class FaultInjector:
         self.recover(at + down_for, name, wipe_state=wipe_state)
 
     # ------------------------------------------------------------------
+    # Silent data-plane corruption
+    # ------------------------------------------------------------------
+    def drop_chain_applies(
+        self, at: float, name: str, group_id: int, count: int = 1
+    ) -> None:
+        """Arm ``name`` to silently lose its next ``count`` chain applies
+        in ``group_id``: the member forwards each update downstream but
+        never applies it locally, so the tail still commits while the
+        victim's store develops a gap.  This is the canonical "lost
+        chain hop" fault the flight recorder's post-mortem is built to
+        explain — no crash, no detector signal, just a replica quietly
+        diverging from the committed history.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.sim.schedule_at(
+            at, self._drop_chain_applies, name, group_id, count,
+            label="chaos:drop-applies",
+        )
+
+    def _drop_chain_applies(self, name: str, group_id: int, count: int) -> None:
+        manager = self.deployment.manager(name)
+        state = manager.sro.groups.get(group_id)
+        if state is None:
+            raise ValueError(f"{name} does not replicate group {group_id}")
+        state.chaos_drop_applies += count
+        self._record("drop-applies", f"{name} group {group_id} x{count}")
+
+    # ------------------------------------------------------------------
     # Controller faults (high availability, protocols.election)
     # ------------------------------------------------------------------
     def _pick_replica(self, replica: Optional[int]):

@@ -58,9 +58,20 @@ class Violation:
     at: float
     monitor: str
     detail: str
+    #: Causally-ordered flight-recorder timeline for the offending
+    #: register key (None when the recorder is disabled or the breach
+    #: has no single key).  Excluded from ``__str__`` so violation
+    #: digests are identical with and without the recorder.
+    timeline: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"[{self.at * 1e3:8.3f} ms] {self.monitor}: {self.detail}"
+
+    def post_mortem(self) -> str:
+        """The violation plus its causal timeline, when one was captured."""
+        if self.timeline is None:
+            return str(self)
+        return f"{self}\n{self.timeline}"
 
 
 @dataclass
@@ -79,6 +90,12 @@ class InvariantReport:
 
     def count(self, monitor: str) -> int:
         return sum(1 for v in self.violations if v.monitor == monitor)
+
+    def post_mortems(self) -> List[str]:
+        """Human-readable explanation of every violation: the breach
+        line plus — when the flight recorder was on — the causal
+        timeline of the offending key's spans."""
+        return [v.post_mortem() for v in self.violations]
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -168,9 +185,19 @@ class InvariantSuite:
         return self.report
 
     # ------------------------------------------------------------------
-    def _violate(self, monitor: str, detail: str) -> None:
+    def _violate(
+        self,
+        monitor: str,
+        detail: str,
+        group: Optional[int] = None,
+        key: Any = None,
+    ) -> None:
+        timeline = None
+        flightrec = getattr(self.deployment, "flight_recorder", None)
+        if flightrec is not None and flightrec.enabled and group is not None:
+            timeline = flightrec.render_timeline(group=group, key=key)
         self.report.violations.append(
-            Violation(at=self.sim.now, monitor=monitor, detail=detail)
+            Violation(at=self.sim.now, monitor=monitor, detail=detail, timeline=timeline)
         )
         self._m_violations[monitor].inc()
 
@@ -212,6 +239,7 @@ class InvariantSuite:
                         "no_lost_write",
                         f"group {gid} slot {slot}: {name} applied seq {applied}"
                         f" < committed seq {seq}",
+                        group=gid,
                     )
         if not final:
             return
@@ -229,6 +257,8 @@ class InvariantSuite:
                         "no_lost_write",
                         f"group {gid} key {key!r}: {name} holds {shown},"
                         f" committed {value!r} at seq {seq}",
+                        group=gid,
+                        key=key,
                     )
 
     # ------------------------------------------------------------------

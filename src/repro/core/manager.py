@@ -43,6 +43,8 @@ from repro.net.multicast import MulticastRegistry
 from repro.net.packet import Packet
 from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
+from repro.obs.causal import CausalClock
+from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.protocols.ewo import EwoEngine
 from repro.protocols.messages import WriteToken
@@ -135,6 +137,10 @@ class SwiShmemManager:
             read_true_time=lambda: self.sim.now,
             offset=deployment.clock_offset(switch.name),
         )
+        #: Causal tracing clock (repro.obs.causal): Lamport counter plus
+        #: deterministic span-id allocation.  Must exist before the
+        #: engines, which cache it at construction.
+        self.causal = CausalClock(switch.name)
         self.sro = SroEngine(self)
         self.ewo = EwoEngine(self, sync_period=deployment.sync_period)
         metrics = deployment.metrics
@@ -210,6 +216,10 @@ class SwiShmemManager:
         Returns False — counting a fenced command — when the command's
         epoch is below the highest this switch has obeyed: it was issued
         by a since-deposed leader and must not land."""
+        flightrec = self.deployment.flight_recorder
+        ctx = (
+            self.causal.child(command.trace) if command.trace is not None else None
+        )
         if command.epoch < self.controller_epoch:
             self.fenced_commands += 1
             self.deployment.tracer.emit(
@@ -221,6 +231,17 @@ class SwiShmemManager:
                 epoch=command.epoch,
                 current=self.controller_epoch,
             )
+            if flightrec.enabled and ctx is not None:
+                flightrec.record(
+                    ctx,
+                    "controller.command.fenced",
+                    self.switch.name,
+                    self.sim.now,
+                    group=command.group,
+                    kind=command.kind,
+                    command_epoch=command.epoch,
+                    fencing_epoch=self.controller_epoch,
+                )
             return False
         self.controller_epoch = command.epoch
         if command.kind == "set_chain":
@@ -229,6 +250,16 @@ class SwiShmemManager:
             self.sro.set_catching_up(command.group, bool(command.payload))
         else:
             raise ValueError(f"unknown controller command kind {command.kind!r}")
+        if flightrec.enabled and ctx is not None:
+            flightrec.record(
+                ctx,
+                "controller.command.apply",
+                self.switch.name,
+                self.sim.now,
+                group=command.group,
+                kind=command.kind,
+                epoch=command.epoch,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -493,6 +524,7 @@ class SwiShmemDeployment:
         metrics: MetricsRegistry = NULL_REGISTRY,
         controller_replicas: int = 1,
         lease_duration: Optional[float] = None,
+        flight_recorder: FlightRecorder = NULL_FLIGHT_RECORDER,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -509,6 +541,12 @@ class SwiShmemDeployment:
         #: construction time.  Switches and links were constructed by the
         #: caller, so they are re-bound here.
         self.metrics = metrics
+        #: Causal flight recorder (repro.obs.flightrec).  Like metrics,
+        #: it must be set before the managers are built: the engines
+        #: cache it (and its enabled flag) at construction.  Trace
+        #: *stamping* happens regardless — it is digest-neutral — only
+        #: span recording is gated on this.
+        self.flight_recorder = flight_recorder
         self.address_book = address_book if address_book is not None else AddressBook()
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()

@@ -11,7 +11,15 @@ See docs/OBSERVABILITY.md for the full guide.  Quick start::
     registry.write_jsonl("metrics.jsonl")
 """
 
+from repro.obs.causal import CausalClock, TraceContext
 from repro.obs.dashboard import render, render_registry
+from repro.obs.flightrec import (
+    DEFAULT_MAX_SPANS,
+    FlightRecorder,
+    NULL_FLIGHT_RECORDER,
+    Span,
+    TraceQuery,
+)
 from repro.obs.inttel import (
     INT_HOP_BYTES,
     INT_SHIM_BYTES,
@@ -33,6 +41,13 @@ from repro.obs.metrics import (
 from repro.obs.profiler import HandlerStats, SimProfiler
 
 __all__ = [
+    "CausalClock",
+    "TraceContext",
+    "Span",
+    "FlightRecorder",
+    "TraceQuery",
+    "NULL_FLIGHT_RECORDER",
+    "DEFAULT_MAX_SPANS",
     "Counter",
     "Gauge",
     "Histogram",

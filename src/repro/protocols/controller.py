@@ -70,10 +70,11 @@ experiments that want detection latency out of the picture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.chain import ChainDescriptor
+from repro.obs.causal import CausalClock
 from repro.protocols.messages import (
     ControllerCommand,
     GroupView,
@@ -140,6 +141,8 @@ class RecoveryEvent:
     transfer_attempts: Dict[int, int] = field(default_factory=dict)
     #: Controller epoch under which the recovery was initiated.
     epoch: int = 0
+    #: Causal context rooting this recovery's span subtree.
+    trace: Any = None
 
     def sro_recovery_time(self, group_id: int) -> Optional[float]:
         promoted = self.promoted_at.get(group_id)
@@ -211,6 +214,12 @@ class CentralController:
         self._deadline_base = self.sim.now
         # Live telemetry (repro.obs); instruments are registry-shared
         # across replicas, so they aggregate naturally.
+        # Causal tracing: one Lamport clock per replica; ``trace_ctx``
+        # is the root span of the current reign, set on activation.
+        self.node = f"ctl{replica_id}"
+        self.causal = CausalClock(self.node)
+        self._flightrec = self.deployment.flight_recorder
+        self.trace_ctx: Any = None
         metrics = self.deployment.metrics
         self._m_heartbeats = metrics.counter("controller.heartbeats", "controller")
         self._m_failures = metrics.counter("controller.failures_detected", "controller")
@@ -377,8 +386,19 @@ class CentralController:
         self._known_failed = set()
         self._last_heard = {}
         self._last_beacon = float("-inf")
+        rc_ctx = (
+            self.causal.child(self.trace_ctx) if self.trace_ctx is not None else None
+        )
+        if self._flightrec.enabled and rc_ctx is not None:
+            self._flightrec.record(
+                rc_ctx,
+                "controller.reconstruct.begin",
+                self.node,
+                self.sim.now,
+                epoch=self.epoch,
+            )
         query = ReconstructQuery(
-            epoch=self.epoch, replica=self.replica_id, sent_at=self.sim.now
+            epoch=self.epoch, replica=self.replica_id, sent_at=self.sim.now, trace=rc_ctx
         )
         if not self.cluster.mgmt_blocked(self):
             for name in self.deployment.switch_names:
@@ -408,6 +428,17 @@ class CentralController:
         if manager.switch.failed:
             return
         manager.observe_controller_epoch(query.epoch)
+        answer_ctx = (
+            manager.causal.child(query.trace) if query.trace is not None else None
+        )
+        if self._flightrec.enabled and answer_ctx is not None:
+            self._flightrec.record(
+                answer_ctx,
+                "controller.reconstruct.answer",
+                name,
+                self.sim.now,
+                epoch=query.epoch,
+            )
         views = tuple(
             GroupView(
                 group=gid,
@@ -418,7 +449,11 @@ class CentralController:
             for gid, state in sorted(manager.sro.groups.items())
         )
         reply = ReconstructReply(
-            switch=name, epoch=query.epoch, groups=views, sent_at=self.sim.now
+            switch=name,
+            epoch=query.epoch,
+            groups=views,
+            sent_at=self.sim.now,
+            trace=answer_ctx,
         )
         self.sim.schedule(
             self.config_latency,
@@ -439,6 +474,16 @@ class CentralController:
         self._reconstruct_replies[reply.switch] = reply
         self._last_heard[reply.switch] = self.sim.now
         self._last_beacon = self.sim.now
+        if self._flightrec.enabled and reply.trace is not None:
+            self._flightrec.record(
+                self.causal.child(reply.trace),
+                "controller.reconstruct.reply",
+                self.node,
+                self.sim.now,
+                switch=reply.switch,
+                epoch=reply.epoch,
+                groups=len(reply.groups),
+            )
 
     def _finish_reconstruction(self, epoch: int) -> None:
         if (
@@ -515,6 +560,21 @@ class CentralController:
                 event = RecoveryEvent(
                     switch=name, started_at=now, redriven=True, epoch=self.epoch
                 )
+                event.trace = (
+                    self.causal.child(self.trace_ctx)
+                    if self.trace_ctx is not None
+                    else None
+                )
+                if self._flightrec.enabled and event.trace is not None:
+                    self._flightrec.record(
+                        event.trace,
+                        "controller.recovery.redrive",
+                        self.node,
+                        self.sim.now,
+                        switch=name,
+                        groups=",".join(str(g) for g in redrive),
+                        epoch=self.epoch,
+                    )
                 self.recoveries.append(event)
                 self._m_recoveries.inc()
                 for group_id in redrive:
@@ -635,6 +695,19 @@ class CentralController:
         self._m_failures.inc()
         if not event.false_positive:
             self._m_detection_latency.observe(event.detection_latency)
+        fail_ctx = (
+            self.causal.child(self.trace_ctx) if self.trace_ctx is not None else None
+        )
+        if self._flightrec.enabled and fail_ctx is not None:
+            self._flightrec.record(
+                fail_ctx,
+                "controller.failure.detect",
+                self.node,
+                self.sim.now,
+                switch=name,
+                false_positive=event.false_positive,
+                epoch=self.epoch,
+            )
         # "First, we regain connectivity by reprogramming the routing of
         # the failed switch neighbors."
         self.deployment.routing.recompute()
@@ -645,7 +718,7 @@ class CentralController:
         for group_id, chain in list(self.deployment.chains.items()):
             if name in chain and len(chain) > 1:
                 repaired = chain.without(name)
-                self._push_chain(repaired)
+                self._push_chain(repaired, parent=fail_ctx)
                 event.chains_repaired.append(group_id)
         # EWO: drop from every multicast group; nothing else needed.
         event.multicast_groups_updated = (
@@ -661,7 +734,7 @@ class CentralController:
     # ------------------------------------------------------------------
     # Configuration distribution (epoch-fenced commands)
     # ------------------------------------------------------------------
-    def _push_chain(self, chain: ChainDescriptor) -> None:
+    def _push_chain(self, chain: ChainDescriptor, parent: Any = None) -> None:
         """Distribute a descriptor to all live switches' control planes."""
         if not self._is_active():
             return
@@ -679,11 +752,30 @@ class CentralController:
                     group=chain.chain_id,
                     payload=chain,
                 ),
+                parent=parent,
             )
 
-    def _send_command(self, manager, command: ControllerCommand) -> None:
+    def _send_command(
+        self, manager, command: ControllerCommand, parent: Any = None
+    ) -> None:
         if self.cluster.mgmt_blocked(self):
             return
+        parent = parent if parent is not None else self.trace_ctx
+        if parent is not None:
+            # ControllerCommand is frozen; re-create it with the send
+            # span stamped (trace is excluded from eq/wire_size).
+            command = replace(command, trace=self.causal.child(parent))
+            if self._flightrec.enabled:
+                self._flightrec.record(
+                    command.trace,
+                    "controller.command.send",
+                    self.node,
+                    self.sim.now,
+                    group=command.group,
+                    kind=command.kind,
+                    epoch=command.epoch,
+                    target=manager.switch.name,
+                )
         self.sim.schedule(
             self.config_latency,
             self._deliver_command,
@@ -713,6 +805,19 @@ class CentralController:
         if not switch.failed:
             raise ValueError(f"{name} has not failed; nothing to recover")
         event = RecoveryEvent(switch=name, started_at=self.sim.now, epoch=self.epoch)
+        event.trace = (
+            self.causal.child(self.trace_ctx) if self.trace_ctx is not None else None
+        )
+        if self._flightrec.enabled and event.trace is not None:
+            self._flightrec.record(
+                event.trace,
+                "controller.recovery.begin",
+                self.node,
+                self.sim.now,
+                switch=name,
+                wiped=wipe_state,
+                epoch=self.epoch,
+            )
         self.recoveries.append(event)
         self._m_recoveries.inc()
         switch.recover()
@@ -753,6 +858,19 @@ class CentralController:
         event = RecoveryEvent(
             switch=name, started_at=self.sim.now, readmission=True, epoch=self.epoch
         )
+        event.trace = (
+            self.causal.child(self.trace_ctx) if self.trace_ctx is not None else None
+        )
+        if self._flightrec.enabled and event.trace is not None:
+            self._flightrec.record(
+                event.trace,
+                "controller.recovery.begin",
+                self.node,
+                self.sim.now,
+                switch=name,
+                readmission=True,
+                epoch=self.epoch,
+            )
         self.recoveries.append(event)
         self._m_recoveries.inc()
         self.deployment.routing.recompute()
@@ -794,8 +912,9 @@ class CentralController:
                     group=group_id,
                     payload=True,
                 ),
+                parent=event.trace,
             )
-            self._push_chain(appended)
+            self._push_chain(appended, parent=event.trace)
             gen = self._recovery_gen.get((group_id, name), 0) + 1
             self._recovery_gen[(group_id, name)] = gen
             # Let in-flight old-chain writes settle before snapshotting,
@@ -920,6 +1039,20 @@ class CentralController:
         # every committed value.
         source = chain.read_tail if chain.read_tail in full else full[0]
         event.transfer_attempts[group_id] = attempt
+        snap_ctx = (
+            self.causal.child(event.trace) if event.trace is not None else None
+        )
+        if self._flightrec.enabled and snap_ctx is not None:
+            self._flightrec.record(
+                snap_ctx,
+                "controller.snapshot.start",
+                self.node,
+                self.sim.now,
+                group=group_id,
+                source=source,
+                target=target,
+                attempt=attempt,
+            )
         self.deployment.failover.start_transfer(
             group_id,
             source=source,
@@ -928,6 +1061,7 @@ class CentralController:
             on_failure=lambda transfer: self._on_transfer_failed(
                 group_id, target, event, attempt, exclude, gen, transfer
             ),
+            trace=snap_ctx,
         )
 
     def _on_transfer_failed(
@@ -981,9 +1115,22 @@ class CentralController:
             and gen != self._recovery_gen.get((group_id, target))
         ):
             return  # transfer belonged to a superseded recovery
+        promote_ctx = (
+            self.causal.child(event.trace) if event.trace is not None else None
+        )
+        if self._flightrec.enabled and promote_ctx is not None:
+            self._flightrec.record(
+                promote_ctx,
+                "controller.promote",
+                self.node,
+                self.sim.now,
+                group=group_id,
+                target=target,
+                epoch=self.epoch,
+            )
         chain = self.deployment.chains[group_id]
         if target in chain and chain.read_tail != target:
-            self._push_chain(chain.promoted())
+            self._push_chain(chain.promoted(), parent=promote_ctx)
         manager = self.deployment.manager(target)
         if not manager.switch.failed:
             self._send_command(
@@ -994,6 +1141,7 @@ class CentralController:
                     group=group_id,
                     payload=False,
                 ),
+                parent=promote_ctx,
             )
         event.promoted_at[group_id] = self.sim.now
 

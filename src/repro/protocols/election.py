@@ -235,6 +235,19 @@ class ControllerCluster:
         self._m_leader_changes.inc()
         self.leader_log.append((now, "activate", replica.replica_id, replica.epoch))
         self._last_leader = replica
+        # Root span for this reign: every command/repair/recovery span
+        # this leader emits descends from it, so a takeover shows up as
+        # a fresh trace rooted at the successor's activation.
+        replica.trace_ctx = replica.causal.root()
+        if replica._flightrec.enabled:
+            replica._flightrec.record(
+                replica.trace_ctx,
+                "controller.activate",
+                replica.node,
+                now,
+                epoch=replica.epoch,
+                initial=initial,
+            )
         replica._broadcast_renewal()
         if not initial:
             # The initial leader of a fresh deployment knows everything;

@@ -157,6 +157,11 @@ class EwoEngine:
         # are off.
         metrics = manager.deployment.metrics
         self._metrics_on = metrics.enabled
+        # Causal tracing: one trace per update broadcast / sync round,
+        # merge spans fan in at the receivers (repro.obs.flightrec).
+        self._causal = manager.causal
+        self._flightrec = manager.deployment.flight_recorder
+        self._flightrec_on = self._flightrec.enabled
         self._m_sync_packets = metrics.counter("ewo.sync_packets", self.switch.name)
         self._m_sync_bytes = metrics.counter("ewo.sync_bytes", self.switch.name)
         self._m_update_packets = metrics.counter("ewo.update_packets", self.switch.name)
@@ -290,9 +295,20 @@ class EwoEngine:
         )
         state.stats.updates_sent += len(update.entries)
         state.stats.update_packets_sent += 1
+        update.trace = self._causal.root()
+        if self._flightrec_on:
+            self._flightrec.record(
+                update.trace,
+                "ewo.update.broadcast",
+                self.switch.name,
+                self.sim.now,
+                group=group_id,
+                entries=len(update.entries),
+            )
         packet = Packet(
             swishmem=SwiShmemHeader(op=SwiShmemOp.EWO_UPDATE, register_group=group_id),
             swishmem_payload=update,
+            trace=update.trace,
         )
         if self._metrics_on:
             self._m_update_packets.inc()
@@ -319,11 +335,23 @@ class EwoEngine:
                 key_bytes=state.spec.key_bytes,
                 value_bytes=state.spec.value_bytes,
             )
+            update.trace = self._causal.root()
+            if self._flightrec_on:
+                self._flightrec.record(
+                    update.trace,
+                    "ewo.update.send",
+                    self.switch.name,
+                    self.sim.now,
+                    group=group_id,
+                    target=target,
+                    entries=len(update.entries),
+                )
             packet = Packet(
                 swishmem=SwiShmemHeader(
                     op=SwiShmemOp.EWO_UPDATE, register_group=group_id, dst_node=target
                 ),
                 swishmem_payload=update,
+                trace=update.trace,
             )
             if self.switch.forward_to_node(packet, target):
                 copies += 1
@@ -344,16 +372,33 @@ class EwoEngine:
         is_sync = isinstance(update, EwoSync)
         if is_sync:
             state.stats.sync_packets_received += 1
+        applied = stale = 0
         for entry in update.entries:
             state.stats.updates_received += 1
             if self._merge_entry(state, entry):
                 state.stats.merges_applied += 1
+                applied += 1
                 if self._metrics_on:
                     self._m_merges_applied.inc()
             else:
                 state.stats.merges_stale += 1
+                stale += 1
                 if self._metrics_on:
                     self._m_merges_stale.inc()
+        if self._flightrec_on and update.trace is not None:
+            # One fan-in span per received packet: merges from many
+            # origins parent into each origin's broadcast/sync span.
+            self._flightrec.record(
+                self._causal.child(update.trace),
+                "ewo.merge",
+                self.switch.name,
+                self.sim.now,
+                group=update.group,
+                origin=update.origin,
+                sync=is_sync,
+                applied=applied,
+                stale=stale,
+            )
 
     def _merge_entry(self, state: EwoGroupState, entry: EwoEntry) -> bool:
         if state.spec.ewo_mode is EwoMode.COUNTER:
@@ -411,6 +456,17 @@ class EwoEngine:
                 if target in directory.replicas_of(group_id, e.key)
             ]
         packets = 0
+        round_ctx = self._causal.root() if entries else None
+        if self._flightrec_on and round_ctx is not None:
+            self._flightrec.record(
+                round_ctx,
+                "ewo.sync.round",
+                self.switch.name,
+                self.sim.now,
+                group=group_id,
+                target=target,
+                entries=len(entries),
+            )
         for start in range(0, len(entries), SYNC_ENTRIES_PER_PACKET):
             chunk = entries[start : start + SYNC_ENTRIES_PER_PACKET]
             sync = EwoSync(
@@ -420,11 +476,13 @@ class EwoEngine:
                 key_bytes=state.spec.key_bytes,
                 value_bytes=state.spec.value_bytes,
             )
+            sync.trace = self._causal.child(round_ctx)
             packet = Packet(
                 swishmem=SwiShmemHeader(
                     op=SwiShmemOp.EWO_SYNC, register_group=group_id, dst_node=target
                 ),
                 swishmem_payload=sync,
+                trace=sync.trace,
             )
             if self.switch.generate_packet(packet, target):
                 packets += 1

@@ -70,6 +70,9 @@ class SnapshotTransfer:
     on_failure: Optional[Callable[["SnapshotTransfer"], None]] = None
     done: bool = False
     failed: bool = False
+    #: Causal context rooting this transfer's span subtree (from the
+    #: controller's ``controller.snapshot.start`` span).
+    trace: Any = None
 
     @property
     def total_entries(self) -> int:
@@ -95,6 +98,7 @@ class FailoverCoordinator:
         target: str,
         on_complete: Optional[Callable[[], None]] = None,
         on_failure: Optional[Callable[[SnapshotTransfer], None]] = None,
+        trace: Any = None,
     ) -> SnapshotTransfer:
         """Snapshot ``group_id`` on ``source`` and replay it to ``target``."""
         transfer = SnapshotTransfer(
@@ -104,6 +108,7 @@ class FailoverCoordinator:
             transfer_id=next(_transfer_ids),
             on_complete=on_complete,
             on_failure=on_failure,
+            trace=trace,
         )
         self._transfers[(group_id, target)] = transfer
         source_manager = self.deployment.manager(source)
@@ -141,6 +146,23 @@ class FailoverCoordinator:
             return
         spec = self.deployment.specs[transfer.group_id]
         switch = source_manager.switch
+        flightrec = self.deployment.flight_recorder
+        round_ctx = None
+        if transfer.trace is not None:
+            # One span per retransmit round; the individual SnapshotWrite
+            # packets all carry it (per-entry spans would swamp the ring).
+            round_ctx = source_manager.causal.child(transfer.trace)
+            if flightrec.enabled:
+                flightrec.record(
+                    round_ctx,
+                    "failover.snapshot.round",
+                    transfer.source,
+                    self.deployment.sim.now,
+                    group=transfer.group_id,
+                    target=transfer.target,
+                    entries=len(transfer.unacked),
+                    round=transfer.rounds,
+                )
         for key in sorted(transfer.unacked, key=repr):
             value, slot, seq = transfer.entries[key]
             message = SnapshotWrite(
@@ -153,6 +175,7 @@ class FailoverCoordinator:
                 key_bytes=spec.key_bytes,
                 value_bytes=spec.value_bytes,
                 transfer_id=transfer.transfer_id,
+                trace=round_ctx,
             )
             packet = Packet(
                 swishmem=SwiShmemHeader(
@@ -161,6 +184,7 @@ class FailoverCoordinator:
                     dst_node=transfer.target,
                 ),
                 swishmem_payload=message,
+                trace=round_ctx,
             )
             switch.forward_to_node(packet, transfer.target)
         switch.control.set_timer(
@@ -188,6 +212,21 @@ class FailoverCoordinator:
         manager.sro.apply_snapshot_write(
             message.key, message.value, message.slot, message.seq, message.group
         )
+        ack_ctx = None
+        if message.trace is not None:
+            ack_ctx = manager.causal.child(message.trace)
+            flightrec = self.deployment.flight_recorder
+            if flightrec.enabled:
+                flightrec.record(
+                    ack_ctx,
+                    "failover.snapshot.apply",
+                    manager.switch.name,
+                    self.deployment.sim.now,
+                    group=message.group,
+                    key=message.key,
+                    seq=message.seq,
+                    slot=message.slot,
+                )
         ack = SnapshotAck(
             group=message.group,
             key=message.key,
@@ -195,6 +234,7 @@ class FailoverCoordinator:
             source=manager.switch.name,
             key_bytes=message.key_bytes,
             transfer_id=message.transfer_id,
+            trace=ack_ctx,
         )
         packet = Packet(
             swishmem=SwiShmemHeader(
@@ -203,6 +243,7 @@ class FailoverCoordinator:
                 dst_node=message.source,
             ),
             swishmem_payload=ack,
+            trace=ack_ctx,
         )
         manager.switch.forward_to_node(packet, message.source)
 
@@ -224,6 +265,19 @@ class FailoverCoordinator:
             return
         transfer.done = True
         self.transfers_completed += 1
+        flightrec = self.deployment.flight_recorder
+        if flightrec.enabled and transfer.trace is not None:
+            source_manager = self.deployment.manager(transfer.source)
+            flightrec.record(
+                source_manager.causal.child(transfer.trace),
+                "failover.transfer.complete",
+                transfer.source,
+                self.deployment.sim.now,
+                group=transfer.group_id,
+                target=transfer.target,
+                entries=transfer.total_entries,
+                rounds=transfer.rounds,
+            )
         if transfer.on_complete is not None:
             transfer.on_complete()
 

@@ -62,6 +62,16 @@ _token_counter = itertools.count(1)
 _BASE_MSG_BYTES = 13
 
 
+def _trace_field() -> Any:
+    """Causal trace context slot (:class:`repro.obs.causal.TraceContext`).
+
+    Simulator-side bookkeeping, like ``Packet.meta``: excluded from
+    ``wire_size`` (stamping must never perturb serialization delay or
+    chaos digests), from equality, and from repr.
+    """
+    return field(default=None, compare=False, repr=False)
+
+
 @dataclass(frozen=True)
 class WriteToken:
     """Identifies one in-flight SRO write for dedup, retry, and ack matching.
@@ -98,6 +108,8 @@ class WriteRequest:
     #: sequencing time instead of using ``value`` (linearizable
     #: fetch-add — the in-network sequencer of paper section 9).
     rmw_delta: Optional[int] = None
+    #: Causal trace context (zero wire cost — see :func:`_trace_field`).
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -127,6 +139,8 @@ class ChainUpdate:
     #: suspected-but-alive head cannot commit through a repaired chain
     #: (section 6.3 split-brain protection).
     epoch: int = 0
+    #: Causal trace context, re-stamped by each hop before forwarding.
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -161,6 +175,7 @@ class WriteAck:
     key_bytes: int = 8
     value: Any = None
     value_bytes: int = 8
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -213,6 +228,7 @@ class EwoUpdate:
     entries: List[EwoEntry] = field(default_factory=list)
     key_bytes: int = 8
     value_bytes: int = 8
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -254,6 +270,7 @@ class SnapshotWrite:
     #: complete a newer one, so both sides echo the id and the source
     #: drops mismatches.
     transfer_id: int = 0
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -270,6 +287,7 @@ class SnapshotAck:
     source: str
     key_bytes: int = 8
     transfer_id: int = 0
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -289,6 +307,7 @@ class Heartbeat:
     origin: str
     seq: int
     sent_at: float
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -331,6 +350,8 @@ class ControllerCommand:
     kind: str  # "set_chain" | "set_catching_up"
     group: int
     payload: Any = None
+    #: Frozen, so the trace is supplied at construction time.
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -345,6 +366,7 @@ class ReconstructQuery:
     epoch: int
     replica: int
     sent_at: float
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:
@@ -375,6 +397,7 @@ class ReconstructReply:
     epoch: int
     groups: Tuple[GroupView, ...]
     sent_at: float
+    trace: Any = _trace_field()
 
     @property
     def wire_size(self) -> int:

@@ -41,6 +41,8 @@ this engine exposes the hooks it needs: descriptor swaps, catch-up mode
 
 from __future__ import annotations
 
+import itertools
+
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
@@ -186,6 +188,11 @@ class SroGroupState:
         #: Catch-up mode: gap-tolerant apply during recovery (section 6.3).
         self.catching_up = False
         self.stats = SroStats()
+        #: Chaos hook (``FaultInjector.drop_chain_applies``): while > 0,
+        #: this member's dataplane silently loses chain-update applies
+        #: (the update still cuts through to the successor).
+        self.chaos_drop_applies = 0
+        self.chaos_dropped_applies = 0
 
     def remember_token(self, token: WriteToken, seq: int, slot: int, value: Any) -> None:
         if token in self.dedup:
@@ -204,6 +211,13 @@ class SroEngine:
         self.sim = manager.sim
         self.groups: Dict[int, SroGroupState] = {}
         self._outstanding: Dict[WriteToken, _OutstandingWrite] = {}
+        # Per-engine token sequence (not the module-global counter):
+        # tokens already embed the writer name, so a per-switch sequence
+        # keeps them unique within a deployment while making same-seed
+        # replays produce byte-identical tokens — and hence identical
+        # flight-recorder span trees — regardless of what else ran in
+        # the process beforehand.
+        self._token_seq = itertools.count(1)
         self.write_timeout = DEFAULT_WRITE_TIMEOUT
         # Live telemetry (repro.obs): engine-level gauges plus per-group
         # instruments bound in add_group.  The deployment sets its
@@ -211,6 +225,12 @@ class SroEngine:
         # one; all of it degrades to no-op singletons when metrics are off.
         metrics = manager.deployment.metrics
         self._metrics_on = metrics.enabled
+        # Causal tracing (repro.obs.causal / flightrec): contexts are
+        # stamped unconditionally (pure counters, digest-neutral), span
+        # *recording* is gated on the deployment's flight recorder.
+        self._causal = manager.causal
+        self._flightrec = manager.deployment.flight_recorder
+        self._flightrec_on = self._flightrec.enabled
         self._m_outstanding = metrics.gauge("sro.outstanding_writes", self.switch.name)
         self._m_pending = metrics.gauge("sro.pending_bits", self.switch.name)
         self._m_commit_latency = metrics.histogram(
@@ -287,6 +307,16 @@ class SroEngine:
             dst_node=state.chain.read_tail,
         )
         packet.swishmem_payload = None
+        packet.trace = self._causal.root()
+        if self._flightrec_on:
+            self._flightrec.record(
+                packet.trace,
+                "sro.read.forward",
+                self.switch.name,
+                self.sim.now,
+                group=state.spec.group_id,
+                next_hop=state.chain.read_tail,
+            )
         self.switch.forward_to_node(packet, state.chain.read_tail)
 
     def handle_read_forward(self, packet: Packet, group_id: int) -> bool:
@@ -300,9 +330,28 @@ class SroEngine:
             return True  # not replicated here (misrouted); drop
         if self.switch.name != state.chain.read_tail:
             # Chain moved under the packet; chase the current tail.
+            if packet.trace is not None:
+                packet.trace = self._causal.child(packet.trace)
+                if self._flightrec_on:
+                    self._flightrec.record(
+                        packet.trace,
+                        "sro.read.chase",
+                        self.switch.name,
+                        self.sim.now,
+                        group=group_id,
+                        next_hop=state.chain.read_tail,
+                    )
             packet.swishmem.dst_node = state.chain.read_tail
             self.switch.forward_to_node(packet, state.chain.read_tail)
             return True
+        if self._flightrec_on and packet.trace is not None:
+            self._flightrec.record(
+                self._causal.child(packet.trace),
+                "sro.read.tail",
+                self.switch.name,
+                self.sim.now,
+                group=group_id,
+            )
         packet.swishmem = None
         packet.meta.setdefault("at_tail_groups", set()).add(group_id)
         return False
@@ -315,15 +364,28 @@ class SroEngine:
         from repro.core.registers import FetchAdd
 
         rmw_delta = value.amount if isinstance(value, FetchAdd) else None
-        return WriteRequest(
+        request = WriteRequest(
             group=spec.group_id,
             key=key,
             value=None if rmw_delta is not None else value,
-            token=WriteToken.fresh(self.switch.name),
+            token=WriteToken(self.switch.name, next(self._token_seq)),
             key_bytes=spec.key_bytes,
             value_bytes=spec.value_bytes,
             rmw_delta=rmw_delta,
         )
+        # Every SRO write starts a fresh trace rooted at the writer.
+        request.trace = self._causal.root()
+        if self._flightrec_on:
+            self._flightrec.record(
+                request.trace,
+                "sro.write.initiate",
+                self.switch.name,
+                self.sim.now,
+                group=spec.group_id,
+                key=key,
+                token=str(request.token),
+            )
+        return request
 
     def initiate_writes(
         self,
@@ -346,7 +408,7 @@ class SroEngine:
         if all(spec.dataplane_write_buffering for spec, _, _ in writes):
             self._initiate_dataplane(writes, output_packet, output_dst, on_release)
             return
-        barrier_token = WriteToken.fresh(self.switch.name)
+        barrier_token = WriteToken(self.switch.name, next(self._token_seq))
         barrier = _PacketBarrier(
             barrier_token, remaining=len(writes), on_release=on_release
         )
@@ -380,7 +442,7 @@ class SroEngine:
         output_dst: Optional[str],
         on_release=None,
     ) -> None:
-        barrier_token = WriteToken.fresh(self.switch.name)
+        barrier_token = WriteToken(self.switch.name, next(self._token_seq))
         barrier = _PacketBarrier(
             barrier_token, remaining=len(writes), on_release=on_release
         )
@@ -421,6 +483,7 @@ class SroEngine:
         if state is None or self.switch.failed:
             return
         head = state.chain.head
+        self._stamp_send(request, head, dataplane=True)
         if head == self.switch.name:
             self.sim.call_soon(self._receive_write_request, request, label="sro-dp-self-head")
             return
@@ -429,6 +492,7 @@ class SroEngine:
                 op=SwiShmemOp.WRITE_REQUEST, register_group=request.group, dst_node=head
             ),
             swishmem_payload=request,
+            trace=request.trace,
         )
         self.switch.forward_to_node(packet, head)
 
@@ -484,11 +548,13 @@ class SroEngine:
             self._give_up(outstanding)
             return
         head = state.chain.head
+        self._stamp_send(request, head, dataplane=False)
         packet = Packet(
             swishmem=SwiShmemHeader(
                 op=SwiShmemOp.WRITE_REQUEST, register_group=request.group, dst_node=head
             ),
             swishmem_payload=request,
+            trace=request.trace,
         )
         if head == self.switch.name:
             # We are the head: hand the request to our own data plane.
@@ -525,6 +591,24 @@ class SroEngine:
         if barrier is not None and barrier.token is not None:
             self.switch.control.drop_buffered(barrier.token)
 
+    def _stamp_send(self, request: WriteRequest, head: str, dataplane: bool) -> None:
+        """Derive a per-attempt send span; the head parents to the attempt
+        that actually reached it (retries form a causal chain)."""
+        parent = request.trace if request.trace is not None else self._causal.root()
+        request.trace = self._causal.child(parent)
+        if self._flightrec_on:
+            self._flightrec.record(
+                request.trace,
+                "sro.write.send",
+                self.switch.name,
+                self.sim.now,
+                group=request.group,
+                key=request.key,
+                next_hop=head,
+                attempt=request.attempt,
+                dataplane=dataplane,
+            )
+
     # ------------------------------------------------------------------
     # Write path, chain side
     # ------------------------------------------------------------------
@@ -533,9 +617,24 @@ class SroEngine:
         state = self.groups.get(request.group)
         if state is None:
             return
+        ctx = (
+            self._causal.child(request.trace)
+            if request.trace is not None
+            else self._causal.root()
+        )
         if state.chain.head != self.switch.name:
             # We are no longer head (reconfiguration raced the request);
             # drop it — the writer's retry will target the new head.
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.head.stale_drop",
+                    self.switch.name,
+                    self.sim.now,
+                    group=request.group,
+                    key=request.key,
+                    current_head=state.chain.head,
+                )
             return
         remembered = state.dedup.get(request.token)
         if remembered is not None:
@@ -551,6 +650,19 @@ class SroEngine:
             else:
                 value = request.value
             state.remember_token(request.token, seq, slot, value)
+        if self._flightrec_on:
+            self._flightrec.record(
+                ctx,
+                "sro.head.sequence",
+                self.switch.name,
+                self.sim.now,
+                group=request.group,
+                key=request.key,
+                seq=seq,
+                slot=slot,
+                epoch=state.chain.version,
+                dedup_hit=remembered is not None,
+            )
         update = ChainUpdate(
             group=request.group,
             key=request.key,
@@ -562,6 +674,7 @@ class SroEngine:
             key_bytes=request.key_bytes,
             value_bytes=request.value_bytes,
             epoch=state.chain.version,
+            trace=ctx,
         )
         self._process_chain_update(update)
 
@@ -583,6 +696,34 @@ class SroEngine:
         state = self.groups.get(update.group)
         if state is None or self.switch.failed:
             return
+        if state.chaos_drop_applies > 0:
+            # Fault injection: this member's dataplane silently loses the
+            # apply (a register-write fault, section 6.3's motivating
+            # failure).  The update still cuts through to the successor —
+            # un-restamped, so the flight recorder sees *no* span from
+            # this node and the post-mortem names it as the losing hop.
+            state.chaos_drop_applies -= 1
+            state.chaos_dropped_applies += 1
+            successor = update.next_hop_after(self.switch.name)
+            if successor is not None:
+                packet = Packet(
+                    swishmem=SwiShmemHeader(
+                        op=SwiShmemOp.CHAIN_UPDATE,
+                        register_group=update.group,
+                        dst_node=successor,
+                    ),
+                    swishmem_payload=update,
+                    trace=update.trace,
+                )
+                self.switch.forward_to_node(packet, successor)
+            elif update.chain and update.chain[-1] == self.switch.name:
+                self._emit_acks(state, update, None)
+            return
+        ctx = (
+            self._causal.child(update.trace)
+            if update.trace is not None
+            else self._causal.root()
+        )
         stats = state.stats
         stats.chain_updates_seen += 1
         if update.epoch < state.chain.version:
@@ -592,6 +733,18 @@ class SroEngine:
             # outright — the writer's retry will go through the current
             # head under the current epoch.
             stats.fenced_updates += 1
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.chain.fenced",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    update_epoch=update.epoch,
+                    local_epoch=state.chain.version,
+                )
             return
         slot = update.slot
         applied = state.pending.applied_seq(slot)
@@ -600,25 +753,99 @@ class SroEngine:
             # Duplicate of something we already applied: do not re-apply,
             # but keep it flowing so downstream members converge.
             stats.duplicate_updates += 1
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.chain.duplicate",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    applied=applied,
+                )
         elif state.pending.is_next_in_order(slot, update.seq):
             state.store[update.key] = update.value
             state.pending.mark_applied(slot, update.seq)
+            pending_set = False
             if state.track_pending and not is_tail:
                 if self._metrics_on and not state.pending.is_pending(slot):
                     self._m_pending.inc()
                 state.pending.set_pending(slot, update.seq)
+                pending_set = True
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.chain.apply",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    slot=slot,
+                    tail=bool(is_tail),
+                )
+                if pending_set:
+                    self._flightrec.record(
+                        self._causal.child(ctx),
+                        "sro.pending.set",
+                        self.switch.name,
+                        self.sim.now,
+                        group=update.group,
+                        key=update.key,
+                        seq=update.seq,
+                        slot=slot,
+                    )
         elif state.catching_up:
             # Recovery: gaps are covered by the snapshot replay, so the
             # catching-up switch applies out-of-order (paper 6.3).
             state.store[update.key] = update.value
             state.pending.force_applied(slot, update.seq)
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.chain.apply",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    slot=slot,
+                    catchup=True,
+                )
         else:
             # A gap: a predecessor's update was lost.  Drop; the writer's
             # control-plane retry re-propagates in order.
             stats.out_of_order_drops += 1
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ctx,
+                    "sro.chain.ooo_drop",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    applied=applied,
+                )
             return
         successor = update.next_hop_after(self.switch.name)
         if successor is not None:
+            # Re-stamp the update with this hop's forward span so the
+            # next member parents to it — a forward span with no child
+            # from ``next_hop`` is a lost hop in the post-mortem.
+            update.trace = self._causal.child(ctx)
+            if self._flightrec_on:
+                self._flightrec.record(
+                    update.trace,
+                    "sro.chain.forward",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    next_hop=successor,
+                )
             packet = Packet(
                 swishmem=SwiShmemHeader(
                     op=SwiShmemOp.CHAIN_UPDATE,
@@ -626,12 +853,15 @@ class SroEngine:
                     dst_node=successor,
                 ),
                 swishmem_payload=update,
+                trace=update.trace,
             )
             self.switch.forward_to_node(packet, successor)
         elif is_tail:
-            self._emit_acks(state, update)
+            self._emit_acks(state, update, ctx)
 
-    def _emit_acks(self, state: SroGroupState, update: ChainUpdate) -> None:
+    def _emit_acks(
+        self, state: SroGroupState, update: ChainUpdate, ctx: Any = None
+    ) -> None:
         """Tail duty: acknowledge to the writer and the other members."""
         ack = WriteAck(
             group=update.group,
@@ -645,12 +875,30 @@ class SroEngine:
         )
         targets = set(update.chain) | {update.token.writer}
         targets.discard(self.switch.name)
+        parent = ctx if ctx is not None else update.trace
+        if parent is not None:
+            # One commit span at the tail; every ack receiver parents to
+            # it.  The ack object is shared across the fan-out packets,
+            # so receivers derive children without re-stamping it.
+            ack.trace = self._causal.child(parent)
+            if self._flightrec_on:
+                self._flightrec.record(
+                    ack.trace,
+                    "sro.ack.emit",
+                    self.switch.name,
+                    self.sim.now,
+                    group=update.group,
+                    key=update.key,
+                    seq=update.seq,
+                    targets=",".join(sorted(targets)),
+                )
         for target in sorted(targets):
             packet = Packet(
                 swishmem=SwiShmemHeader(
                     op=SwiShmemOp.WRITE_ACK, register_group=update.group, dst_node=target
                 ),
                 swishmem_payload=ack,
+                trace=ack.trace,
             )
             self.switch.forward_to_node(packet, target)
         # The tail itself may also be the writer.
@@ -662,11 +910,25 @@ class SroEngine:
         if state is None:
             return
         state.stats.acks_seen += 1
+        cleared = False
         if state.track_pending:
             cleared = state.pending.clear_pending(ack.slot, ack.seq)
             if cleared and self._metrics_on:
                 self._m_pending.dec()
+        ctx = self._causal.child(ack.trace) if ack.trace is not None else None
         outstanding = self._outstanding.pop(ack.token, None)
+        if self._flightrec_on and ctx is not None:
+            self._flightrec.record(
+                ctx,
+                "sro.ack.deliver",
+                self.switch.name,
+                self.sim.now,
+                group=ack.group,
+                key=ack.key,
+                seq=ack.seq,
+                pending_cleared=cleared,
+                writer=outstanding is not None,
+            )
         if outstanding is None:
             return
         if self._metrics_on:
@@ -676,6 +938,17 @@ class SroEngine:
         state.stats.writes_committed += 1
         latency = self.sim.now - outstanding.started_at
         state.stats.record_write_latency(latency)
+        if self._flightrec_on and ctx is not None:
+            self._flightrec.record(
+                self._causal.child(ctx),
+                "sro.write.commit",
+                self.switch.name,
+                self.sim.now,
+                group=ack.group,
+                key=ack.key,
+                seq=ack.seq,
+                latency_us=round(latency * 1e6, 3),
+            )
         if self._metrics_on:
             self._m_commit_latency.observe(latency)
         self.manager.on_write_committed(state.spec, outstanding.request.key, ack)

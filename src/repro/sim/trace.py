@@ -89,6 +89,18 @@ class Tracer:
         """Attach a callback invoked for every recorded entry (e.g. print)."""
         self._sinks.append(sink)
 
+    def bind_metrics(self, metrics: Any, node: str = "obs") -> None:
+        """Export ring occupancy/eviction gauges into a metrics registry.
+
+        Duck-typed (any object with ``enabled`` and ``gauge``) so the
+        sim layer stays import-free of ``repro.obs``.  Call just before
+        snapshotting so bench sidecars show whether the ring truncated.
+        """
+        if not getattr(metrics, "enabled", False):
+            return
+        metrics.gauge("tracer.evictions", node).set(self.evictions)
+        metrics.gauge("tracer.records", node).set(len(self.records))
+
     def by_category(self, category: str) -> List[TraceRecord]:
         return [r for r in self.records if r.category == category]
 

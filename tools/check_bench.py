@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Bench-sidecar regression gate: diff fresh BENCH_<id>.json files
+against the committed baselines in bench_results/.
+
+Every wired benchmark emits a machine-readable sidecar (see
+benchmarks/common.py emit_json).  The simulation is deterministic, so a
+fresh run on the same code must reproduce the committed numbers almost
+exactly; this tool walks both JSON documents, matches metric snapshot
+entries by (kind, name, node) and result rows by position, and flags
+any numeric leaf whose relative drift exceeds its tolerance — turning
+"the perf trajectory is diffable across commits" into an enforced gate
+instead of an artifact someone might eyeball.
+
+Per-metric tolerances are keyed on the leaf's path: timing-ish metrics
+(latency, windows, gaps) get a small band for float accumulation
+differences across Python versions; counts and structural fields must
+match exactly.
+
+Usage:
+    python tools/check_bench.py --fresh fresh_bench [--baseline bench_results] [IDS ...]
+
+Exit status 0 when every compared sidecar is within tolerance, 1
+otherwise (and on missing fresh files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Tuple
+
+#: Ordered (pattern, relative tolerance) pairs; the first regex that
+#: matches the leaf path wins.  Patterns are searched, not anchored.
+DEFAULT_TOLERANCES: List[Tuple[str, float]] = [
+    # Host wall-clock can legitimately differ run to run; ignore it.
+    (r"wall_clock|host_seconds", math.inf),
+    # Simulated timing aggregates: deterministic, but float summation
+    # order can differ across Python point releases — allow 1%.
+    (r"latency|seconds|window|gap|duration|_ms\b|busy", 1e-2),
+    # Rates/ratios derived from timings inherit the same band.
+    (r"rate|throughput|efficiency|utilization", 1e-2),
+    # Everything else (counts, sequence numbers, byte totals, config
+    # echoes) must match exactly.
+    (r".", 0.0),
+]
+
+BENCH_PATTERN = re.compile(r"BENCH_(?P<id>[A-Za-z0-9]+)\.json$")
+
+
+class Mismatch:
+    def __init__(self, path: str, detail: str) -> None:
+        self.path = path
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"  {self.path}: {self.detail}"
+
+
+def tolerance_for(path: str, tolerances: List[Tuple[str, float]]) -> float:
+    for pattern, tol in tolerances:
+        if re.search(pattern, path):
+            return tol
+    return 0.0
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _metric_key(entry: Any) -> Optional[Tuple[Any, ...]]:
+    """Snapshot entries carry identity fields; match on those rather
+    than list position so metric additions produce 'missing' diffs, not
+    a cascade of positional mismatches."""
+    if isinstance(entry, dict) and "name" in entry:
+        return (entry.get("kind"), entry["name"], entry.get("node"))
+    return None
+
+
+def diff(base: Any, fresh: Any, path: str, tolerances: List[Tuple[str, float]]) -> Iterator[Mismatch]:
+    if type(base) is not type(fresh) and not (_is_number(base) and _is_number(fresh)):
+        yield Mismatch(path, f"type changed: {type(base).__name__} -> {type(fresh).__name__}")
+        return
+    if isinstance(base, dict):
+        for key in sorted(set(base) | set(fresh)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in fresh:
+                yield Mismatch(sub, "missing in fresh run")
+            elif key not in base:
+                yield Mismatch(sub, "not in baseline (new field — recommit the baseline)")
+            else:
+                yield from diff(base[key], fresh[key], sub, tolerances)
+        return
+    if isinstance(base, list):
+        keys = [_metric_key(e) for e in base]
+        if keys and all(k is not None for k in keys):
+            fresh_by_key = { _metric_key(e): e for e in fresh }
+            base_by_key = dict(zip(keys, base))
+            for key in keys:
+                label = f"{path}[{'/'.join(str(p) for p in key)}]"
+                if key not in fresh_by_key:
+                    yield Mismatch(label, "metric missing in fresh run")
+                else:
+                    yield from diff(base_by_key[key], fresh_by_key[key], label, tolerances)
+            for key in fresh_by_key:
+                if key not in base_by_key:
+                    label = f"{path}[{'/'.join(str(p) for p in key)}]"
+                    yield Mismatch(label, "metric not in baseline (recommit the baseline)")
+            return
+        if len(base) != len(fresh):
+            yield Mismatch(path, f"length changed: {len(base)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            yield from diff(b, f, f"{path}[{i}]", tolerances)
+        return
+    if _is_number(base):
+        tol = tolerance_for(path, tolerances)
+        if tol is math.inf:
+            return
+        scale = max(abs(base), abs(fresh), 1e-12)
+        drift = abs(base - fresh) / scale
+        if drift > tol:
+            yield Mismatch(
+                path,
+                f"{base!r} -> {fresh!r} (drift {drift:.2%}, tolerance {tol:.2%})",
+            )
+        return
+    if base != fresh:
+        yield Mismatch(path, f"{base!r} -> {fresh!r}")
+
+
+def check_sidecar(baseline_file: Path, fresh_file: Path) -> List[Mismatch]:
+    if not fresh_file.exists():
+        return [Mismatch(fresh_file.name, "fresh sidecar was not produced")]
+    with open(baseline_file) as fh:
+        base = json.load(fh)
+    with open(fresh_file) as fh:
+        fresh = json.load(fh)
+    return list(diff(base, fresh, "", DEFAULT_TOLERANCES))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="bench_results",
+        help="directory holding the committed BENCH_<id>.json baselines",
+    )
+    parser.add_argument(
+        "--fresh", required=True,
+        help="directory holding the freshly produced sidecars",
+    )
+    parser.add_argument(
+        "ids", nargs="*",
+        help="experiment ids to check (default: every baseline sidecar)",
+    )
+    args = parser.parse_args(argv)
+    baseline_dir, fresh_dir = Path(args.baseline), Path(args.fresh)
+
+    baselines = sorted(
+        f for f in baseline_dir.glob("BENCH_*.json") if BENCH_PATTERN.search(f.name)
+    )
+    if args.ids:
+        wanted = {i.upper() for i in args.ids}
+        baselines = [
+            f for f in baselines
+            if BENCH_PATTERN.search(f.name).group("id").upper() in wanted
+        ]
+    if not baselines:
+        print(f"check_bench: no baselines to check in {baseline_dir}/", file=sys.stderr)
+        return 1
+
+    failed = False
+    for baseline_file in baselines:
+        mismatches = check_sidecar(baseline_file, fresh_dir / baseline_file.name)
+        bench_id = BENCH_PATTERN.search(baseline_file.name).group("id")
+        if mismatches:
+            failed = True
+            print(f"FAIL {bench_id}: {len(mismatches)} regression(s) vs {baseline_file}")
+            for mismatch in mismatches:
+                print(mismatch)
+        else:
+            print(f"ok   {bench_id}: matches baseline within tolerance")
+    if failed:
+        print(
+            "\ncheck_bench: sidecars drifted from committed baselines."
+            "\nIf the change is intentional, rerun the benchmarks and commit"
+            " the new bench_results/BENCH_*.json files with the code change.",
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
