@@ -13,13 +13,18 @@ replicas reflecting it.
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 from typing import List
 
 import pytest
 
-sys.path.insert(0, ".")
+# Resolve imports relative to this file, not the caller's CWD.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec

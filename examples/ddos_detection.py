@@ -10,9 +10,14 @@ and therefore only viable under the eventually consistent EWO protocol.
 Run:  python examples/ddos_detection.py
 """
 
+import os
 import sys
 
-sys.path.insert(0, ".")
+# Resolve imports relative to this file, not the caller's CWD.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 from repro.nf.ddos import DdosDetectorNF
 from repro.workload.attack import AttackScenario

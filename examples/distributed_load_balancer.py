@@ -15,10 +15,15 @@ consistency audit plus the replication work the chain performed.
 Run:  python examples/distributed_load_balancer.py
 """
 
+import os
 import sys
 from collections import defaultdict
 
-sys.path.insert(0, ".")
+# Resolve imports relative to this file, not the caller's CWD.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 from repro.net.headers import TcpFlags
 from repro.net.packet import make_tcp_packet

@@ -63,13 +63,17 @@ class Node:
         """Transmit ``packet`` to a directly connected neighbor.
 
         Returns False if this node has failed or has no such link; the
-        packet is then dropped, matching fail-stop semantics.
+        packet is then dropped, matching fail-stop semantics.  (A missing
+        link is a *drop*, not an error: the network layer promises
+        at-most-once delivery and nothing else, so callers that need to
+        distinguish "no such neighbor" check the return value — see
+        ``PisaSwitch.forward_to_node``.)
         """
         if self.failed:
             return False
         link = self.links.get(to_neighbor)
         if link is None:
-            raise KeyError(f"{self.name} has no link to {to_neighbor}")
+            return False
         link.transmit(packet, from_node=self.name)
         return True
 
@@ -134,6 +138,12 @@ class Channel:
         self.stats = LinkStats()
         self._loss_stream = rng.stream(f"loss:{src.name}->{dst.name}")
         self._tracer = tracer
+        # Hot-path precomputation: transmit() runs once per packet per
+        # hop, so the event labels and the tracer's category decision are
+        # resolved here instead of rebuilding f-strings every call.
+        self._trace_drops = tracer.enabled("link")
+        self._deliver_label = f"link:{src.name}->{dst.name}"
+        self._dup_label = f"nemesis-dup:{src.name}->{dst.name}"
         #: Time the transmitter is busy until (FIFO serialization).
         self._busy_until = 0.0
         #: Optional adversarial wrapper (``repro.chaos.nemesis``): consulted
@@ -163,41 +173,49 @@ class Channel:
         decided at transmit time (the packet occupies the wire either way,
         as a corrupted frame would).
         """
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.wire_size
+        stats = self.stats
+        # wire_size is a computed property walking the header stack;
+        # resolve it once per transmit instead of three times.
+        wire_size = packet.wire_size
+        stats.packets_sent += 1
+        stats.bytes_sent += wire_size
         if self._metrics_on:
             self._m_packets.inc()
-            self._m_bytes.inc(packet.wire_size)
+            self._m_bytes.inc(wire_size)
         if not self.up:
-            self.stats.packets_dropped += 1
+            stats.packets_dropped += 1
             if self._metrics_on:
                 self._m_drops.inc()
             return
-        start = max(self.sim.now, self._busy_until)
-        serialization = packet.wire_size * 8 / self.bandwidth_bps
+        sim = self.sim
+        now = sim.now
+        busy_until = self._busy_until
+        start = now if now > busy_until else busy_until
+        serialization = wire_size * 8 / self.bandwidth_bps
         self._busy_until = start + serialization
-        arrival = self._busy_until + self.latency
+        arrival = start + serialization + self.latency
         if self._metrics_on:
             self._m_busy.inc(serialization)
         if self.loss_rate > 0.0 and self._loss_stream.random() < self.loss_rate:
-            self.stats.packets_dropped += 1
+            stats.packets_dropped += 1
             if self._metrics_on:
                 self._m_drops.inc()
-            self._tracer.emit(
-                self.sim.now, "link", self.src.name, "drop", to=self.dst.name, pkt=packet.uid
-            )
+            if self._trace_drops:
+                self._tracer.emit(
+                    now, "link", self.src.name, "drop", to=self.dst.name, pkt=packet.uid
+                )
             return
         if self.nemesis is not None:
             extra, duplicate_offsets = self.nemesis.plan(packet, self)
             for offset in duplicate_offsets:
-                self.sim.schedule_at(
-                    arrival + offset,
+                sim.schedule(
+                    arrival + offset - now,
                     self._deliver,
                     packet.clone(),
-                    label=f"nemesis-dup:{self.src.name}->{self.dst.name}",
+                    label=self._dup_label,
                 )
             arrival += extra
-        self.sim.schedule_at(arrival, self._deliver, packet, label=f"link:{self.src.name}->{self.dst.name}")
+        sim.schedule(arrival - now, self._deliver, packet, label=self._deliver_label)
 
     def _deliver(self, packet: "Packet") -> None:
         if not self.up:

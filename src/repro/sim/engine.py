@@ -19,6 +19,18 @@ Two properties matter for faithfulness to the paper:
   falls out naturally — one event runs to completion before the next
   begins — but switch code additionally asserts that it never yields
   mid-packet (see ``repro.switch.pisa``).
+
+The queue itself is allocation-lean: heap entries are plain
+``(time, seq, event)`` tuples (no per-entry wrapper object), and
+cancelled events are removed *lazily*.  :meth:`Event.cancel` only flags
+the event and tells its simulator; the entry stays in the heap until it
+reaches the top or until cancelled entries exceed roughly half the
+queue, at which point the heap is compacted in place.  This keeps the
+heap bounded under cancel-heavy workloads (SRO retransmission timers are
+armed per write and cancelled on every ack) without paying an O(n)
+removal per cancel.  Ordering is unchanged — live entries keep their
+original ``(time, seq)`` keys through compaction — so the rewrite is
+invisible to replay digests.
 """
 
 from __future__ import annotations
@@ -26,8 +38,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -45,15 +56,6 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry: orders by (time, sequence)."""
-
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
-
-
 class Event:
     """A scheduled callback.
 
@@ -61,7 +63,7 @@ class Event:
     event (e.g. a retransmission timer that is no longer needed).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "callback", "args", "cancelled", "label", "_sim")
 
     def __init__(
         self,
@@ -75,6 +77,10 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        #: Back-reference used for lazy-deletion bookkeeping; set by
+        #: ``Simulator.schedule`` and cleared when the entry leaves the
+        #: heap (fired, skipped, or compacted away).
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Cancel this event; it will be skipped when its time arrives.
@@ -82,11 +88,27 @@ class Event:
         Cancelling an event that already fired is a no-op rather than an
         error, because timers routinely race with the work they guard.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.9f} {self.label or self.callback!r} {state}>"
+
+
+#: A heap entry: (time, seq, event).  Plain tuples compare element-wise,
+#: which reproduces exactly the (time, seq) ordering of the old
+#: dataclass entries, at a fraction of the allocation and comparison cost.
+_QueueTuple = Tuple[float, int, "Event"]
+
+#: Don't bother compacting tiny heaps — the rebuild costs more than the
+#: stale entries ever will.
+_COMPACT_MIN_SIZE = 64
 
 
 class Simulator:
@@ -106,14 +128,22 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[_QueueEntry] = []
+        self._queue: List[_QueueTuple] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Cancelled entries still occupying heap slots (lazy deletion).
+        self._cancelled = 0
+        #: Lifetime counters for the S1 benchmark and kernel tests.
+        self.events_cancelled = 0
+        self.compactions = 0
+        self.peak_queue_len = 0
         #: Optional dispatch interceptor (see ``repro.obs.profiler``).
         #: When set, events run through ``profiler.dispatch(event)`` so
-        #: wall-clock cost can be attributed per handler label.
+        #: wall-clock cost can be attributed per handler label.  The hook
+        #: is sampled when ``run()`` starts; install/uninstall between
+        #: runs, not from inside an event.
         self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -139,12 +169,17 @@ class Simulator:
         ``delay`` must be non-negative and finite.  Returns the
         :class:`Event`, which may be cancelled until it fires.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        if not math.isfinite(delay):
+        # One comparison rejects negative, +inf and NaN (NaN fails both).
+        if not 0.0 <= delay < math.inf:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
             raise SimulationError(f"delay must be finite, got {delay}")
-        event = Event(self._now + delay, callback, args, label=label)
-        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        event = Event(self._now + delay, callback, args, label)
+        event._sim = self
+        queue = self._queue
+        heapq.heappush(queue, (event.time, next(self._seq), event))
+        if len(queue) > self.peak_queue_len:
+            self.peak_queue_len = len(queue)
         return event
 
     def schedule_at(
@@ -162,76 +197,154 @@ class Simulator:
         return self.schedule(0.0, callback, *args, label=label)
 
     # ------------------------------------------------------------------
+    # Lazy deletion
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the entry is still heaped."""
+        self._cancelled += 1
+        self.events_cancelled += 1
+        queue = self._queue
+        if self._cancelled * 2 > len(queue) and len(queue) >= _COMPACT_MIN_SIZE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, *in place*.
+
+        In-place (slice assignment) so the hot loop in :meth:`run`, which
+        holds a local reference to the queue list, observes the rebuild.
+        Live entries keep their original (time, seq) keys, so event order
+        — and therefore any replay digest — is unaffected.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancelled = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or stopped.
 
-        Returns the simulation time at which execution stopped.  If
-        ``until`` is given, the clock is advanced to exactly ``until``
-        even when the queue drains earlier, so periodic measurements can
-        rely on a full window having elapsed.
+        Returns the simulation time at which execution stopped.
+
+        Clock boundary semantics: if ``until`` is given and the run ends
+        by draining the queue or reaching the window edge, the clock is
+        advanced to exactly ``until`` — even when the queue drained
+        earlier — so periodic measurements can rely on a full window
+        having elapsed.  If the run ends via :meth:`stop`, the clock is
+        deliberately **left at the time of the last processed event**:
+        a stopped simulation is frozen mid-history (e.g. for inspection
+        or early exit on an invariant violation), and jumping the clock
+        forward would misdate everything scheduled afterwards.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
         processed = 0
+        # Hot-loop locals: the queue list identity is stable (compaction
+        # mutates it in place) and the profiler hook is sampled once.
+        queue = self._queue
+        heappop = heapq.heappop
+        profiler = self.profiler
+        limit = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
+                entry = queue[0]
+                if entry[0] > limit:
                     break
-                heapq.heappop(self._queue)
-                event = entry.event
+                heappop(queue)
+                event = entry[2]
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._now = event.time
-                if self.profiler is None:
+                event._sim = None
+                self._now = entry[0]
+                if profiler is None:
                     event.callback(*event.args)
                 else:
-                    self.profiler.dispatch(event)
-                self.events_processed += 1
+                    profiler.dispatch(event)
                 processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return self._now
 
     def step(self) -> bool:
-        """Run a single event.  Returns False when the queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.event.cancelled:
+        """Run a single event.  Returns False when the queue is empty.
+
+        Mirrors :meth:`run`'s guards: calling ``step()`` from inside a
+        running simulation (either ``run()`` or another ``step()``) is a
+        re-entrancy error, and the profiler hook intercepts dispatch the
+        same way it does in ``run()``.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant step())")
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[2]
+            if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = entry.event.time
-            if self.profiler is None:
-                entry.event.callback(*entry.event.args)
-            else:
-                self.profiler.dispatch(entry.event)
-            self.events_processed += 1
+            event._sim = None
+            self._now = entry[0]
+            self._running = True
+            try:
+                if self.profiler is None:
+                    event.callback(*event.args)
+                else:
+                    self.profiler.dispatch(event)
+            finally:
+                self._running = False
+                self.events_processed += 1
             return True
         return False
 
     def stop(self) -> None:
-        """Stop a running simulation after the current event completes."""
+        """Stop a running simulation after the current event completes.
+
+        The clock stays at the current event's time; see :meth:`run` for
+        the boundary semantics with ``until``.
+        """
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for entry in self._queue if not entry.event.cancelled)
+        """Number of non-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        for entry in sorted(self._queue):
-            if not entry.event.cancelled:
-                return entry.time
+        """Time of the next pending event, or None if none remain.
+
+        Pops cancelled entries off the top of the heap as it goes, so the
+        cost is O(log n) amortized per cancelled entry rather than the
+        full sort this used to do.
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return queue[0][0]
         return None
+
+    def queue_len(self) -> int:
+        """Raw heap occupancy, *including* lazily deleted entries.
+
+        ``pending()`` is the logical count; the difference between the
+        two is the garbage the compactor bounds.
+        """
+        return len(self._queue)
 
 
 class Process:
@@ -283,6 +396,12 @@ class Process:
         return self
 
     def stop(self) -> None:
+        """Stop the process, cancelling its in-flight tick event.
+
+        After ``stop()`` the process holds no live event: the pending
+        tick is cancelled (and will be lazily reclaimed by the kernel)
+        and the reference is dropped.
+        """
         self._alive = False
         if self._event is not None:
             self._event.cancel()

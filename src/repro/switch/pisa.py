@@ -110,8 +110,19 @@ class PisaSwitch(Node):
         self.memory = MemoryBudget(memory_bytes)
         self.control = ControlPlaneAgent(self, op_latency=control_op_latency)
         self.tracer = tracer
+        # Tracer category decisions and event labels are fixed per switch;
+        # resolve them once instead of on every packet (the tracer is
+        # bound at construction and never swapped).
+        self._trace_fwd = tracer.enabled("fwd")
+        self._trace_drop = tracer.enabled("drop")
+        self._serve_label = f"{name}:serve"
+        self._recirc_label = f"{name}:recirc"
+        self._cpu_inject_label = f"{name}:cpu-inject"
         self.stats = SwitchStats()
         self._handlers: List[PacketHandler] = []
+        #: Immutable snapshot iterated by the pipeline, refreshed on
+        #: install/remove so the per-packet pass never copies the list.
+        self._handlers_snapshot: Tuple[PacketHandler, ...] = ()
         #: Mirror sessions: session id -> destination node name.
         self._mirror_sessions: Dict[int, str] = {}
         # Optional finite-capacity service model (experiment C1).
@@ -152,9 +163,11 @@ class PisaSwitch(Node):
             self._handlers.insert(0, handler)
         else:
             self._handlers.append(handler)
+        self._handlers_snapshot = tuple(self._handlers)
 
     def remove_handler(self, handler: PacketHandler) -> None:
         self._handlers.remove(handler)
+        self._handlers_snapshot = tuple(self._handlers)
 
     # ------------------------------------------------------------------
     # Ingress
@@ -181,7 +194,7 @@ class PisaSwitch(Node):
         if not self._serving:
             self._serving = True
             self.sim.schedule(
-                1.0 / self.pipeline_rate_pps, self._serve_next, label=f"{self.name}:serve"
+                1.0 / self.pipeline_rate_pps, self._serve_next, label=self._serve_label
             )
 
     def _serve_next(self) -> None:
@@ -199,7 +212,7 @@ class PisaSwitch(Node):
         self._pipeline_pass(packet, from_node, arrived_at=enqueued_at, queue_depth=depth)
         if self._queue:
             self.sim.schedule(
-                1.0 / self.pipeline_rate_pps, self._serve_next, label=f"{self.name}:serve"
+                1.0 / self.pipeline_rate_pps, self._serve_next, label=self._serve_label
             )
         else:
             self._serving = False
@@ -222,7 +235,9 @@ class PisaSwitch(Node):
         try:
             packet.meta.clear()  # fresh PISA metadata at each switch
             packet.meta["ingress_node"] = from_node
-            for handler in list(self._handlers):
+            # The snapshot tuple makes handler add/remove during a pass
+            # safe without copying the list for every packet.
+            for handler in self._handlers_snapshot:
                 if handler(packet, from_node):
                     return
             # Replication packets addressed to another switch are, on the
@@ -282,7 +297,8 @@ class PisaSwitch(Node):
             self.stats.tx_packets += 1
             if self._metrics_on:
                 self._m_tx.inc()
-            self.tracer.emit(self.sim.now, "fwd", self.name, "tx", to=hop, pkt=packet.uid)
+            if self._trace_fwd:
+                self.tracer.emit(self.sim.now, "fwd", self.name, "tx", to=hop, pkt=packet.uid)
         return sent
 
     def _send_via_routing(self, packet: Packet, hop: str) -> bool:
@@ -308,7 +324,8 @@ class PisaSwitch(Node):
         self.stats.dropped_packets += 1
         if self._metrics_on:
             self._m_drops.inc()
-        self.tracer.emit(self.sim.now, "drop", self.name, reason or "drop", pkt=packet.uid)
+        if self._trace_drop:
+            self.tracer.emit(self.sim.now, "drop", self.name, reason or "drop", pkt=packet.uid)
 
     def punt_to_cpu(self, packet: Packet, handler: Callable[[Packet], None]) -> None:
         """Send a packet to the local control plane (paper section 2)."""
@@ -326,7 +343,7 @@ class PisaSwitch(Node):
             self._pipeline_pass,
             packet,
             ingress,
-            label=f"{self.name}:recirc",
+            label=self._recirc_label,
         )
 
     def inject_from_cpu(self, packet: Packet, dst_node: str) -> None:
@@ -336,7 +353,7 @@ class PisaSwitch(Node):
             self._inject,
             packet,
             dst_node,
-            label=f"{self.name}:cpu-inject",
+            label=self._cpu_inject_label,
         )
 
     def _inject(self, packet: Packet, dst_node: str) -> None:

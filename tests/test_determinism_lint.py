@@ -77,6 +77,35 @@ class TestViolationsCaught:
     def test_seeded_use_allowed(self, tmp_path, source):
         assert self._lint_source(tmp_path, source) == []
 
+    @pytest.mark.parametrize(
+        "source",
+        [
+            'import sys\nsys.path.insert(0, ".")\n',
+            'import sys\nsys.path.insert(0, "")\n',
+            'import sys\nsys.path.append("src")\n',
+            'import sys as system\nsystem.path.insert(0, ".")\n',
+        ],
+    )
+    def test_cwd_relative_sys_path_flagged(self, tmp_path, source):
+        violations = self._lint_source(tmp_path, source)
+        assert len(violations) == 1
+        assert "CWD" in violations[0][2]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # __file__-derived: the sanctioned pattern
+            "import os\nimport sys\n"
+            "sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))\n",
+            # absolute literal is CWD-independent
+            'import sys\nsys.path.insert(0, "/opt/somewhere")\n',
+            # path methods on other objects are not sys.path
+            'route = object()\nroute.path.insert(0, ".")\n',
+        ],
+    )
+    def test_file_derived_sys_path_allowed(self, tmp_path, source):
+        assert self._lint_source(tmp_path, source) == []
+
     def test_exempt_module_skipped(self):
         exempt = os.path.join(REPO_ROOT, "src", lint.EXEMPT_SUFFIX)
         assert os.path.exists(exempt)

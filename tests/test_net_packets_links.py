@@ -179,11 +179,21 @@ class TestLink:
         sim.run()
         assert len(a.received) == 1 and len(b.received) == 1
 
-    def test_send_to_unknown_neighbor_raises(self):
+    def test_send_to_unknown_neighbor_returns_false(self):
+        # Regression: Node.send's contract is "False if this node has
+        # failed or has no such link"; it used to raise KeyError for the
+        # missing-link half, contradicting its own docstring.
         sim = Simulator()
         a, b, link = self._pair(sim)
-        with pytest.raises(KeyError):
-            a.send(Packet(), "nosuch")
+        assert a.send(Packet(), "nosuch") is False
+        sim.run()
+        assert b.received == []  # nothing was transmitted anywhere
+        assert link.ab.stats.packets_sent == 0
+
+    def test_send_to_known_neighbor_returns_true(self):
+        sim = Simulator()
+        a, b, link = self._pair(sim)
+        assert a.send(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2), "b") is True
 
     def test_channel_parameter_validation(self):
         sim = Simulator()

@@ -117,6 +117,122 @@ class TestCancellation:
         assert sim.peek_time() == 2.0
 
 
+class TestLazyDeletion:
+    """The tuple-heap rewrite: cancelled entries are reclaimed lazily."""
+
+    def test_heap_bounded_under_cancel_heavy_timer_workload(self):
+        # SRO arms a retransmission timer per write and cancels it on the
+        # ack.  Without compaction the heap would hold one dead timer per
+        # step (peak ~n); the compactor must keep it bounded.
+        sim = Simulator()
+        n = 5_000
+        pending = [None]
+
+        def step(i):
+            if pending[0] is not None:
+                pending[0].cancel()
+            pending[0] = sim.schedule(10.0, lambda: None, label="retx")
+            if i + 1 < n:
+                sim.schedule(1e-6, step, i + 1)
+
+        sim.schedule(0.0, step, 0)
+        sim.run(until=1.0)
+        assert sim.events_cancelled == n - 1
+        assert sim.compactions > 0
+        assert sim.peak_queue_len < 300  # bounded, not O(n)
+        # Heaps below the compaction floor may hold a few dead entries,
+        # but never an O(n) backlog.
+        assert sim.queue_len() < 64
+        assert sim.pending() == 1
+
+    def test_compaction_preserves_event_order(self):
+        # Live entries keep their (time, seq) keys through compaction, so
+        # firing order with interleaved cancels matches a run with the
+        # cancelled events simply never scheduled.
+        def run(with_cancels):
+            sim = Simulator()
+            order = []
+            events = []
+            for i in range(200):
+                events.append(sim.schedule((i % 10) / 10.0, order.append, i))
+            if with_cancels:
+                for i, event in enumerate(events):
+                    if i % 3 != 0:
+                        event.cancel()  # 2/3 cancelled -> crosses the ~50% threshold
+                assert sim.compactions > 0
+            sim.run()
+            return order
+
+        kept = [i for i in range(200) if i % 3 == 0]
+        expected = sorted(kept, key=lambda i: ((i % 10) / 10.0, i))
+        assert run(with_cancels=True) == expected
+
+    def test_pending_and_peek_with_interleaved_cancels(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        assert sim.pending() == 100
+        # Cancel the front half interleaved with peeks: peek must always
+        # report the earliest *live* event and pending() the live count.
+        for i in range(50):
+            events[i].cancel()
+            assert sim.pending() == 100 - (i + 1)
+            assert sim.peek_time() == float(i + 2)
+        # Cancel from the back too; peek unaffected, pending shrinks.
+        events[99].cancel()
+        assert sim.pending() == 49
+        assert sim.peek_time() == 51.0
+
+    def test_peek_time_empty_and_all_cancelled(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() is None
+        assert sim.pending() == 0
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()  # second cancel must not skew the bookkeeping
+        assert sim.events_cancelled == 1
+        assert sim.pending() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        live = sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()  # no-op: already fired, entry left the heap
+        assert sim.pending() == 1
+        assert sim.peek_time() == 2.0
+
+    def test_process_stop_leaves_no_live_event(self):
+        sim = Simulator()
+        process = Process(sim, 1.0, lambda: None).start()
+        sim.run(until=2.5)
+        process.stop()
+        assert process._event is None
+        assert sim.pending() == 0  # the cancelled tick is not live
+        assert sim.run(until=50.0) == 50.0
+        assert process.ticks == 2
+
+    def test_determinism_with_cancels_same_schedule_same_order(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            events = []
+            for i in range(500):
+                events.append(sim.schedule((i * 7919 % 13) / 10.0, order.append, i))
+                if i % 5 == 2:
+                    events[i // 2].cancel()
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+
 class TestStopAndStep:
     def test_stop_halts_processing(self):
         sim = Simulator()
@@ -158,6 +274,76 @@ class TestStopAndStep:
         sim.schedule(1.0, nested)
         with pytest.raises(SimulationError):
             sim.run()
+
+    def test_stop_leaves_clock_at_stop_time_despite_until(self):
+        # Documented boundary: run(until=...) advances the clock to the
+        # window edge on a normal drain, but a stop() freezes the clock
+        # at the last processed event — the history ends there.
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run(until=10.0) == 1.0
+        assert sim.now == 1.0
+        # Resuming the same simulator picks the history back up, and a
+        # clean drain then does advance to the window edge.
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_reentrant_step_during_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_reentrant_run_during_step_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        assert sim.step() is True
+        assert len(errors) == 1
+
+    def test_step_skips_cancelled_and_updates_bookkeeping(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        first.cancel()
+        assert sim.step() is True
+        assert fired == [2]
+        assert sim.pending() == 0
+
+    def test_step_routes_through_profiler_like_run(self):
+        class RecordingProfiler:
+            def __init__(self):
+                self.dispatched = []
+
+            def dispatch(self, event):
+                self.dispatched.append(event.label)
+                event.callback(*event.args)
+
+        sim = Simulator()
+        profiler = RecordingProfiler()
+        sim.profiler = profiler
+        fired = []
+        sim.schedule(1.0, fired.append, 1, label="stepped")
+        assert sim.step() is True
+        assert fired == [1]
+        assert profiler.dispatched == ["stepped"]
 
 
 class TestProcess:

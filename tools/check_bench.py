@@ -36,8 +36,9 @@ from typing import Any, Iterator, List, Optional, Tuple
 #: Ordered (pattern, relative tolerance) pairs; the first regex that
 #: matches the leaf path wins.  Patterns are searched, not anchored.
 DEFAULT_TOLERANCES: List[Tuple[str, float]] = [
-    # Host wall-clock can legitimately differ run to run; ignore it.
-    (r"wall_clock|host_seconds", math.inf),
+    # Host wall-clock (and rates derived from it, e.g. S1's
+    # events_per_host_sec) can legitimately differ run to run; ignore it.
+    (r"wall_clock|host_seconds|per_host_sec", math.inf),
     # Simulated timing aggregates: deterministic, but float summation
     # order can differ across Python point releases — allow 1%.
     (r"latency|seconds|window|gap|duration|_ms\b|busy", 1e-2),

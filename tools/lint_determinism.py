@@ -1,4 +1,5 @@
-"""Determinism lint: forbid unseeded module-level ``random`` usage.
+"""Determinism lint: forbid unseeded ``random`` usage and CWD-relative
+``sys.path`` hacks.
 
 Every chaos run, benchmark, and failover test in this repo promises
 byte-identical replays for a given seed.  One stray call into the
@@ -7,12 +8,20 @@ process-global :mod:`random` generator (``random.random()``,
 breaks that promise — the global generator is shared, unseeded by
 default, and perturbed by import order.
 
+Similarly, ``sys.path.insert(0, ".")`` makes a script importable only
+when launched from the repo root: results then depend on the caller's
+working directory, the repro-killing cousin of wall-clock nondeterminism.
+Paths must be derived from ``__file__`` (see ``benchmarks/common.py``).
+
 This lint walks the AST of every Python file and flags:
 
 * any attribute access on the ``random`` module (under any import
   alias) other than ``random.Random`` — constructing an explicitly
   seeded instance is the one sanctioned use;
-* any ``from random import X`` where ``X`` is not ``Random``.
+* any ``from random import X`` where ``X`` is not ``Random``;
+* any ``sys.path.insert(...)`` / ``sys.path.append(...)`` whose path
+  argument is a *relative* string literal (``"."``, ``""``, ``".."``,
+  ``"src"``...) — ``__file__``-derived expressions are fine.
 
 ``src/repro/sim/random.py`` is exempt: it is the module that wraps the
 stdlib generator behind :class:`SeededRng`, the seam everything else
@@ -49,12 +58,42 @@ class _RandomUseVisitor(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.aliases: set = set()
+        self.sys_aliases: set = set()
         self.violations: List[Violation] = []
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "random":
                 self.aliases.add(alias.asname or alias.name)
+            if alias.name == "sys":
+                self.sys_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # sys.path.insert(0, "<relative>") / sys.path.append("<relative>")
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("insert", "append")
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "path"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self.sys_aliases
+        ):
+            path_arg = node.args[-1] if node.args else None
+            if (
+                isinstance(path_arg, ast.Constant)
+                and isinstance(path_arg.value, str)
+                and not os.path.isabs(path_arg.value)
+            ):
+                self.violations.append((
+                    self.path,
+                    node.lineno,
+                    f"sys.path.{func.attr} of relative path "
+                    f"{path_arg.value!r} depends on the caller's CWD; "
+                    f"derive the path from __file__ instead "
+                    f"(see benchmarks/common.py)",
+                ))
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
