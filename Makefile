@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples chaos all clean
+.PHONY: install test bench tables examples chaos scrub all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,11 @@ examples:
 # with invariant monitors and a determinism replay check.
 chaos:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos_soak.py --quick
+
+# Anti-entropy scrub-and-repair bench (experiment F5): silent
+# divergence under compound chaos, detected and healed online.
+scrub:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scrub_repair.py --quick
 
 # The two artifacts EXPERIMENTS.md points reviewers at.
 all:

@@ -7,13 +7,18 @@ package provides one, built entirely on the deterministic simulator so
 every chaos run is reproducible from its seed:
 
 * :mod:`repro.chaos.faults` — :class:`FaultInjector`: schedulable,
-  seed-driven switch crashes/recoveries, link flaps, loss bursts, and
-  network partitions.
+  seed-driven switch crashes/recoveries, link flaps, loss bursts
+  (overlap-safe), network partitions, and silent-divergence faults —
+  register corruption (``corrupt_register``) and frozen replicas
+  (``stale_replica``) — each logging a
+  :class:`~repro.protocols.antientropy.DivergenceEvent` for the
+  anti-entropy scrubber to detect and heal.
 * :mod:`repro.chaos.nemesis` — :class:`Nemesis`: a channel wrapper that
   duplicates and delays (hence reorders) in-flight SwiShmem packets.
 * :mod:`repro.chaos.invariants` — :class:`InvariantSuite`: continuous
   monitors asserting no-committed-write-lost, CRDT counter
-  monotonicity, and chain/multicast configuration consistency.
+  monotonicity, chain/multicast configuration consistency, and — once
+  scrubbing is on — that every divergence heals within its deadline.
 """
 
 from repro.chaos.faults import FaultInjector, FaultRecord

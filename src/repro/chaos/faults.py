@@ -31,8 +31,10 @@ against the same deployment plan byte-identical schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.core.registers import Consistency, EwoMode
+from repro.protocols.antientropy import DivergenceEvent
 from repro.sim.random import SeededRng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +63,10 @@ class FaultInjector:
         self.sim = deployment.sim
         self.rng = SeededRng(seed)
         self.log: List[FaultRecord] = []
+        # Overlapping loss bursts: per-channel true pre-burst rate and
+        # the stack of active burst rates (effective = max of all).
+        self._burst_base: Dict[object, float] = {}
+        self._burst_active: Dict[object, List[float]] = {}
 
     def _record(self, kind: str, detail: str) -> None:
         self.log.append(FaultRecord(at=self.sim.now, kind=kind, detail=detail))
@@ -121,6 +127,154 @@ class FaultInjector:
             raise ValueError(f"{name} does not replicate group {group_id}")
         state.chaos_drop_applies += count
         self._record("drop-applies", f"{name} group {group_id} x{count}")
+
+    def corrupt_register(
+        self, at: float, name: str, group_id: int, key: Any = None
+    ) -> None:
+        """Bit-flip one stored register value on ``name`` at ``at``.
+
+        The silent-divergence fault the anti-entropy scrubber exists
+        for: no crash, no drop, no detector signal — the replica simply
+        holds the wrong value.  ``key=None`` picks a live key from the
+        seeded ``corrupt`` stream at fire time.  SRO values flip a low
+        bit (sequence numbers stay intact, so only the scrubber can
+        notice); EWO counters lose the top bit of a peer slot (the true,
+        higher value wins the eventual max-merge); LWW cells flip the
+        value under an unchanged version stamp — the case plain gossip
+        can only resolve through the merge tiebreak.  Every applied
+        corruption logs a :class:`DivergenceEvent` for the invariant
+        suite to track to detection and heal.
+        """
+        self.sim.schedule_at(
+            at, self._corrupt_register, name, group_id, key, label="chaos:corrupt"
+        )
+
+    @staticmethod
+    def _flip_value(value: Any, stream) -> Any:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return ("corrupt", stream.randint(1, 1 << 16))
+        return value ^ (1 << stream.randint(0, 7))
+
+    def _corrupt_register(self, name: str, group_id: int, key: Any) -> None:
+        manager = self.deployment.manager(name)
+        if manager.switch.failed:
+            self._record("corrupt-noop", f"{name} group {group_id} (down)")
+            return
+        spec = self.deployment.specs[group_id]
+        stream = self.rng.stream("corrupt")
+        detail = None
+        if spec.consistency is not Consistency.EWO:
+            state = manager.sro.groups[group_id]
+            if key is None:
+                live = sorted(state.store, key=repr)
+                key = stream.choice(live) if live else None
+            if key is None or key not in state.store:
+                self._record("corrupt-noop", f"{name} group {group_id} (empty)")
+                return
+            state.store[key] = self._flip_value(state.store[key], stream)
+            detail = f"{name} group {group_id} key {key!r} (sro store)"
+        elif spec.ewo_mode is EwoMode.COUNTER:
+            ewo = manager.ewo.groups[group_id]
+            if key is None:
+                live = sorted(ewo.vectors, key=repr)
+                key = stream.choice(live) if live else None
+            vector = ewo.vectors.get(key) if key is not None else None
+            # Corrupt a *peer* slot (never our own: local increments
+            # build on the local slot, and must stay truthful), and only
+            # downward — the true value re-wins the max-merge.
+            slots = (
+                [s for s, v in enumerate(vector) if v > 0 and s != ewo.my_slot]
+                if vector is not None
+                else []
+            )
+            if not slots:
+                self._record("corrupt-noop", f"{name} group {group_id} (empty)")
+                return
+            slot = stream.choice(slots)
+            vector[slot] &= ~(1 << (vector[slot].bit_length() - 1))
+            detail = f"{name} group {group_id} key {key!r} slot {slot} (counter)"
+        elif spec.ewo_mode is EwoMode.LWW:
+            ewo = manager.ewo.groups[group_id]
+            if key is None:
+                live = sorted(
+                    (k for k, c in ewo.cells.items() if c.version.node_id >= 0),
+                    key=repr,
+                )
+                key = stream.choice(live) if live else None
+            cell = ewo.cells.get(key) if key is not None else None
+            if cell is None or cell.version.node_id < 0:
+                self._record("corrupt-noop", f"{name} group {group_id} (empty)")
+                return
+            cell._value = self._flip_value(cell.value, stream)
+            detail = f"{name} group {group_id} key {key!r} (lww)"
+        else:
+            raise ValueError("corrupt_register does not support OR-Set groups")
+        self.deployment.divergence_log.append(
+            DivergenceEvent(
+                group=group_id, switch=name, kind="corrupt", key=key,
+                at=self.sim.now, detail=detail,
+            )
+        )
+        self._record("corrupt", detail)
+
+    def stale_replica(
+        self, at: float, name: str, group_id: int, duration: float
+    ) -> None:
+        """Freeze ``name``'s apply unit for ``group_id`` for ``duration``.
+
+        While frozen the replica silently drops every incoming apply —
+        SRO chain updates cut through without applying, EWO merges are
+        consumed without merging — so it serves increasingly stale state
+        while looking perfectly healthy.  The :class:`DivergenceEvent`
+        is logged at *thaw* time: a frozen replica is not repairable
+        (it drops scrub repairs too), so the heal clock starts when the
+        freeze lifts.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.sim.schedule_at(
+            at, self._stale_replica, name, group_id, duration, label="chaos:stale"
+        )
+
+    def _stale_replica(self, name: str, group_id: int, duration: float) -> None:
+        manager = self.deployment.manager(name)
+        if manager.switch.failed:
+            self._record("stale-noop", f"{name} group {group_id} (down)")
+            return
+        spec = self.deployment.specs[group_id]
+        if spec.consistency is Consistency.EWO:
+            state = manager.ewo.groups[group_id]
+        else:
+            state = manager.sro.groups[group_id]
+        state.chaos_frozen_until = max(
+            state.chaos_frozen_until, self.sim.now + duration
+        )
+        self._record(
+            "stale-replica", f"{name} group {group_id} for {duration * 1e3:.1f} ms"
+        )
+        self.sim.schedule(
+            duration, self._thaw_replica, name, group_id, label="chaos:stale-thaw"
+        )
+
+    def _thaw_replica(self, name: str, group_id: int) -> None:
+        manager = self.deployment.manager(name)
+        if manager.switch.failed:
+            return  # crash recovery resets the replica anyway
+        spec = self.deployment.specs[group_id]
+        if spec.consistency is Consistency.EWO:
+            state = manager.ewo.groups[group_id]
+        else:
+            state = manager.sro.groups[group_id]
+        if state.chaos_frozen_until > self.sim.now:
+            return  # an overlapping freeze extended the window
+        self.deployment.divergence_log.append(
+            DivergenceEvent(
+                group=group_id, switch=name, kind="stale", key=None,
+                at=self.sim.now,
+                detail=f"{name} group {group_id} thawed",
+            )
+        )
+        self._record("stale-thaw", f"{name} group {group_id}")
 
     # ------------------------------------------------------------------
     # Controller faults (high availability, protocols.election)
@@ -259,21 +413,40 @@ class FaultInjector:
         return links
 
     def _start_burst(self, pair_list, loss_rate: float, duration: float) -> None:
+        """Push one burst onto each affected channel.
+
+        Bursts may overlap: each channel keeps its true pre-burst rate
+        plus a stack of active burst rates, and its effective rate is
+        the max of all of them — so ending one burst while another still
+        covers the channel never restores a stale intermediate rate.
+        """
         links = self._burst_links(pair_list)
-        saved: List[Tuple[object, float, float]] = []
+        channels = []
         for link in links:
-            saved.append((link, link.ab.loss_rate, link.ba.loss_rate))
-            link.ab.loss_rate = loss_rate
-            link.ba.loss_rate = loss_rate
+            channels.extend((link.ab, link.ba))
+        for channel in channels:
+            if channel not in self._burst_base:
+                self._burst_base[channel] = channel.loss_rate
+            self._burst_active.setdefault(channel, []).append(loss_rate)
+            channel.loss_rate = max(
+                self._burst_base[channel], *self._burst_active[channel]
+            )
         scope = "all links" if pair_list is None else f"{len(links)} links"
         self._record("loss-burst", f"{scope} at {loss_rate:.0%} for {duration * 1e3:.1f} ms")
-        self.sim.schedule(duration, self._end_burst, saved, label="chaos:loss-burst-end")
+        self.sim.schedule(
+            duration, self._end_burst, channels, loss_rate, label="chaos:loss-burst-end"
+        )
 
-    def _end_burst(self, saved) -> None:
-        for link, ab_rate, ba_rate in saved:
-            link.ab.loss_rate = ab_rate
-            link.ba.loss_rate = ba_rate
-        self._record("loss-burst-end", f"{len(saved)} links restored")
+    def _end_burst(self, channels, loss_rate: float) -> None:
+        for channel in channels:
+            active = self._burst_active[channel]
+            active.remove(loss_rate)
+            if active:
+                channel.loss_rate = max(self._burst_base[channel], *active)
+            else:
+                channel.loss_rate = self._burst_base.pop(channel)
+                del self._burst_active[channel]
+        self._record("loss-burst-end", f"{len(channels) // 2} links restored")
 
     # ------------------------------------------------------------------
     # Partitions
@@ -338,6 +511,9 @@ class FaultInjector:
         protect: Sequence[str] = (),
         controller_crashes: int = 0,
         controller_downtime: Tuple[float, float] = (15e-3, 40e-3),
+        corruptions: int = 0,
+        stale_replicas: int = 0,
+        stale_duration: Tuple[float, float] = (3e-3, 8e-3),
     ) -> List[str]:
         """Plan a random schedule inside ``[start, start + horizon]``.
 
@@ -412,6 +588,40 @@ class FaultInjector:
             planned.append(
                 f"controller crash replica {victim} at {at * 1e3:.2f} ms"
                 f" for {down * 1e3:.2f} ms"
+            )
+        # Silent-divergence faults draw after the controller draws, so
+        # schedules planned before these knobs existed stay byte-identical.
+        specs = self.deployment.specs
+        corruptible = [
+            gid
+            for gid, spec in sorted(specs.items())
+            if not (
+                spec.consistency is Consistency.EWO
+                and spec.ewo_mode is EwoMode.ORSET
+            )
+        ]
+        for _ in range(corruptions):
+            if not names or not corruptible:
+                break
+            victim = stream.choice(names)
+            gid = stream.choice(corruptible)
+            at = when(0.0)
+            self.corrupt_register(at, victim, gid)
+            planned.append(
+                f"corrupt {victim} group {gid} at {at * 1e3:.2f} ms"
+            )
+        freezable = sorted(specs)
+        for _ in range(stale_replicas):
+            if not names or not freezable:
+                break
+            victim = stream.choice(names)
+            gid = stream.choice(freezable)
+            duration = stream.uniform(*stale_duration)
+            at = when(duration)
+            self.stale_replica(at, victim, gid, duration=duration)
+            planned.append(
+                f"stale {victim} group {gid} at {at * 1e3:.2f} ms"
+                f" for {duration * 1e3:.2f} ms"
             )
         return planned
 

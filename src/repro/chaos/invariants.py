@@ -28,6 +28,17 @@ checking one of the claims the paper makes about failure handling:
   lease margin math (docs/PROTOCOLS.md) argues this can never happen;
   this monitor checks it empirically under crash/partition chaos.
 
+* **divergence healed** (anti-entropy, protocols.antientropy): every
+  silent divergence the chaos layer injects (``corrupt_register``,
+  ``stale_replica``, ``drop_chain_applies``) logs a ``DivergenceEvent``;
+  when a scrubber is running, each event must be healed within its heal
+  bound (the scrubber pushes deadlines out while scrubbing is
+  impossible — no leader, aborted rounds, victim down).  Replicas with
+  an outstanding event are exempt from the *live* lost-write check (the
+  divergence is known and being healed), but the strict end-of-run
+  value check is not relaxed: divergence surviving finalization is a
+  violation no matter what.
+
 Monitors are asserted live on a periodic simulator process
 (:meth:`InvariantSuite.start`) and summarized by
 :meth:`InvariantSuite.finalize`, which runs the strict end-of-run
@@ -118,6 +129,7 @@ class InvariantSuite:
                 "counter_monotonic": 0,
                 "config_consistent": 0,
                 "single_leader": 0,
+                "divergence_healed": 0,
             }
         )
         #: Commit timestamps, for unavailability-window analysis.
@@ -174,6 +186,7 @@ class InvariantSuite:
         self._check_counters()
         self._check_config()
         self._check_single_leader()
+        self._check_divergence()
 
     def finalize(self) -> InvariantReport:
         """Stop live checking, run the strict end-of-run checks."""
@@ -182,6 +195,7 @@ class InvariantSuite:
         self._check_counters()
         self._check_config()
         self._check_single_leader()
+        self._check_divergence()
         return self.report
 
     # ------------------------------------------------------------------
@@ -231,8 +245,27 @@ class InvariantSuite:
     def _check_no_lost_write(self, final: bool = False) -> None:
         self.report.checks["no_lost_write"] += 1
         self._m_checks["no_lost_write"].inc()
+        # With a scrubber running, replicas with a known, still-unhealed
+        # injected divergence (or a frozen apply unit) lag committed
+        # seqs *by design* — that is the fault, and the divergence_healed
+        # monitor owns its deadline.  Without one, silent divergence is
+        # exactly a lost write and stays a violation here.
+        scrubbing = self.deployment.scrubber is not None
+        diverged = (
+            {
+                (e.group, e.switch)
+                for e in self.deployment.divergence_log
+                if not e.healed
+            }
+            if scrubbing
+            else set()
+        )
         for (gid, slot), seq in self._slot_max.items():
             for name, state in self._full_members(gid):
+                if (gid, name) in diverged or (
+                    scrubbing and state.chaos_frozen_until > self.sim.now
+                ):
+                    continue
                 applied = state.pending.applied_seq(slot)
                 if applied < seq:
                     self._violate(
@@ -271,7 +304,15 @@ class InvariantSuite:
             for name in self.deployment.switch_names
             if self.deployment.manager(name).switch.failed
         )
-        return (len(controller.failures), len(controller.recoveries), down)
+        # Injected silent divergence perturbs merged counters like a
+        # crash does (a corrupted slot lowers the max-merge): count the
+        # log so each new event re-baselines instead of violating.
+        return (
+            len(controller.failures),
+            len(controller.recoveries),
+            down,
+            len(self.deployment.divergence_log),
+        )
 
     def _check_counters(self) -> None:
         self.report.checks["counter_monotonic"] += 1
@@ -388,3 +429,33 @@ class InvariantSuite:
                 "single_leader",
                 f"replicas {active} simultaneously hold an active lease",
             )
+
+    # ------------------------------------------------------------------
+    # Monitor 5: injected divergence detected and healed within bound
+    # ------------------------------------------------------------------
+    def _check_divergence(self) -> None:
+        self.report.checks["divergence_healed"] += 1
+        self._m_checks["divergence_healed"].inc()
+        scrubber = self.deployment.scrubber
+        if scrubber is None:
+            return  # nothing promises healing without the scrub loop
+        now = self.sim.now
+        for event in self.deployment.divergence_log:
+            if event.healed or event.violated:
+                continue
+            deadline = (
+                event.deadline
+                if event.deadline is not None
+                else event.at + scrubber.heal_bound
+            )
+            if now > deadline:
+                event.violated = True
+                self._violate(
+                    "divergence_healed",
+                    f"group {event.group}: {event.kind} divergence on"
+                    f" {event.switch} (key {event.key!r}) unhealed"
+                    f" {(now - event.at) * 1e3:.3f} ms after injection"
+                    f" (bound {scrubber.heal_bound * 1e3:.3f} ms)",
+                    group=event.group,
+                    key=event.key,
+                )

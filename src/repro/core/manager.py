@@ -46,6 +46,7 @@ from repro.net.topology import Topology
 from repro.obs.causal import CausalClock
 from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.protocols.antientropy import ScrubAgent
 from repro.protocols.ewo import EwoEngine
 from repro.protocols.messages import WriteToken
 from repro.protocols.sro import SroEngine
@@ -143,6 +144,9 @@ class SwiShmemManager:
         self.causal = CausalClock(switch.name)
         self.sro = SroEngine(self)
         self.ewo = EwoEngine(self, sync_period=deployment.sync_period)
+        #: Member-side anti-entropy agent: digest trees over this
+        #: switch's register groups plus repair application.
+        self.scrub = ScrubAgent(self)
         metrics = deployment.metrics
         self._metrics_on = metrics.enabled
         self._m_reads = metrics.counter("state.reads", switch.name)
@@ -185,6 +189,9 @@ class SwiShmemManager:
             return self.sro.handle_read_forward(packet, header.register_group)
         if op in (SwiShmemOp.EWO_UPDATE, SwiShmemOp.EWO_SYNC):
             self.ewo.handle_update(payload)
+            return True
+        if op is SwiShmemOp.SCRUB_REPAIR:
+            self.scrub.handle_repair(payload)
             return True
         if op is SwiShmemOp.SNAPSHOT_WRITE:
             self.deployment.failover.handle_snapshot_write(self, payload)
@@ -558,6 +565,13 @@ class SwiShmemDeployment:
         #: Section 9 extension: directory service for partial replication
         #: (None = full replication everywhere, the paper's base design).
         self.directory = None
+        #: Anti-entropy (repro.protocols.antientropy): chaos faults log
+        #: one DivergenceEvent per injected silent divergence here; the
+        #: scrubber stamps detection and heal times and the invariant
+        #: suite enforces the heal bound.
+        self.divergence_log: List[Any] = []
+        #: The deployment-wide ScrubCoordinator, once started.
+        self.scrubber = None
         self._group_ids = itertools.count(1)
         self.specs: Dict[int, RegisterSpec] = {}
         self._spec_names: Dict[str, RegisterSpec] = {}
@@ -707,12 +721,33 @@ class SwiShmemDeployment:
         """Fail-stop a switch (the controller will detect it)."""
         self.topo.fail_node(name)
 
+    def start_scrubbing(self, period: Optional[float] = None, **kwargs: Any):
+        """Start the anti-entropy scrub loop (idempotent).
+
+        ``kwargs`` pass through to
+        :class:`~repro.protocols.antientropy.ScrubCoordinator`
+        (``buckets``, ``confirm_rounds``, ``heal_bound``).
+        """
+        from repro.protocols.antientropy import DEFAULT_SCRUB_PERIOD, ScrubCoordinator
+
+        if self.scrubber is not None:
+            return self.scrubber
+        self.scrubber = ScrubCoordinator(
+            self,
+            period=period if period is not None else DEFAULT_SCRUB_PERIOD,
+            **kwargs,
+        )
+        self.scrubber.start()
+        return self.scrubber
+
     def shutdown(self) -> None:
         """Tear the deployment down: stop the controller cluster (all
         replicas, lease timers, heartbeat generators) and every periodic
         EWO sync generator, so that once in-flight events drain the sim
         queue is empty.  The deployment stays inspectable afterwards."""
         self.controller.stop()
+        if self.scrubber is not None:
+            self.scrubber.stop()
         for manager in self.managers.values():
             for generator in manager._sync_generators.values():
                 generator.stop()

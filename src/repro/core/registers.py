@@ -26,14 +26,16 @@ without knowing which switch it runs on — the "one big switch" facade.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import SwiShmemManager
 
 __all__ = [
     "Consistency",
+    "DigestTree",
     "EwoMode",
     "FetchAdd",
     "RegisterSpec",
@@ -96,6 +98,142 @@ class ReadForwarded(Exception):
 
 class WriteError(RuntimeError):
     """A write could not be initiated (e.g. no chain configured)."""
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class DigestTree:
+    """Incremental Merkle-style digest over one replica's register set.
+
+    The anti-entropy scrubber (``repro.protocols.antientropy``) compares
+    these trees across chain/group members to locate silently diverged
+    registers without shipping full state:
+
+    * Keys hash into one of ``buckets`` leaf buckets
+      (:meth:`bucket_of`, stable across replicas).  A bucket's digest is
+      the XOR of its entries' 64-bit hashes — order-independent, so two
+      replicas holding the same set of (key, value) pairs produce the
+      same digest regardless of insertion order, and an entry change
+      updates the bucket in O(1) (XOR out the old hash, XOR in the new).
+    * Internal nodes hash their two children, up to a single root.
+      Comparing roots answers "identical?"; walking divergent nodes
+      downward (:meth:`node`) bisects to the buckets, and
+      :meth:`bucket_entries` yields per-key hashes for the final step.
+
+    :meth:`refresh` diffs the live store against the cached entries, so
+    the steady-state cost per scrub round is proportional to the number
+    of *changed* keys, not the store size.  Values handed to ``refresh``
+    must be immutable canonical forms (tuples, not live lists): the
+    change check compares cached values by equality, which aliasing
+    would defeat.
+    """
+
+    __slots__ = ("buckets", "depth", "_entries", "_tree", "_dirty", "refreshed_entries")
+
+    def __init__(self, buckets: int = 16) -> None:
+        if buckets < 1 or buckets & (buckets - 1):
+            raise ValueError(f"buckets must be a power of two, got {buckets}")
+        self.buckets = buckets
+        #: Tree depth: level 0 is the root, level ``depth`` the buckets.
+        self.depth = buckets.bit_length() - 1
+        #: key -> (canonical value, entry hash)
+        self._entries: Dict[Any, Tuple[Any, int]] = {}
+        #: Implicit heap: _tree[1] is the root, buckets live at
+        #: [buckets, 2*buckets).  Bucket digests are XOR accumulators.
+        self._tree: List[int] = [0] * (2 * self.buckets)
+        # Internal nodes must equal hash(children) from the start, not
+        # lazily on first dirtying: otherwise two trees holding the same
+        # entries can disagree purely on which sibling subtrees were
+        # ever touched (e.g. after an add-then-remove), which a digest
+        # comparison would misread as divergence.
+        for index in range(self.buckets - 1, 0, -1):
+            left, right = self._tree[2 * index], self._tree[2 * index + 1]
+            self._tree[index] = _hash64(
+                left.to_bytes(8, "big") + right.to_bytes(8, "big")
+            )
+        self._dirty: Set[int] = set()
+        #: Total entries re-hashed across all refreshes (incrementality
+        #: is observable: unchanged stores add zero).
+        self.refreshed_entries = 0
+
+    @staticmethod
+    def entry_hash(key: Any, value: Any) -> int:
+        return _hash64(repr((key, value)).encode())
+
+    def bucket_of(self, key: Any) -> int:
+        """Stable bucket index for ``key`` (identical on every replica)."""
+        return _hash64(repr(key).encode()) % self.buckets
+
+    # ------------------------------------------------------------------
+    def refresh(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        """Bring the tree up to date with ``items``; returns changed keys."""
+        changed = 0
+        seen: Set[Any] = set()
+        for key, value in items:
+            seen.add(key)
+            cached = self._entries.get(key)
+            if cached is not None and cached[0] == value:
+                continue
+            h = self.entry_hash(key, value)
+            bucket = self.bucket_of(key)
+            slot = self.buckets + bucket
+            if cached is not None:
+                self._tree[slot] ^= cached[1]
+            self._tree[slot] ^= h
+            self._entries[key] = (value, h)
+            self._dirty.add(bucket)
+            changed += 1
+        if len(seen) != len(self._entries):
+            for key in [k for k in self._entries if k not in seen]:
+                _, h = self._entries.pop(key)
+                bucket = self.bucket_of(key)
+                self._tree[self.buckets + bucket] ^= h
+                self._dirty.add(bucket)
+                changed += 1
+        if self._dirty:
+            parents = {
+                i for i in ((self.buckets + b) >> 1 for b in self._dirty) if i >= 1
+            }
+            self._dirty.clear()
+            while parents:
+                for index in parents:
+                    left, right = self._tree[2 * index], self._tree[2 * index + 1]
+                    self._tree[index] = _hash64(
+                        left.to_bytes(8, "big") + right.to_bytes(8, "big")
+                    )
+                parents = {i >> 1 for i in parents if i > 1}
+        self.refreshed_entries += changed
+        return changed
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return self._tree[1]
+
+    def node(self, level: int, index: int) -> int:
+        """Digest of node ``index`` at ``level`` (0 = root, depth = buckets)."""
+        if not 0 <= level <= self.depth:
+            raise ValueError(f"level must be in [0, {self.depth}], got {level}")
+        width = 1 << level
+        if not 0 <= index < width:
+            raise ValueError(f"index must be in [0, {width}), got {index}")
+        return self._tree[width + index]
+
+    def bucket_entries(self, bucket: int) -> List[Tuple[Any, int]]:
+        """(key, entry hash) pairs currently hashed into ``bucket``."""
+        return sorted(
+            (
+                (key, h)
+                for key, (_, h) in self._entries.items()
+                if self.bucket_of(key) == bucket
+            ),
+            key=lambda pair: repr(pair[0]),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass

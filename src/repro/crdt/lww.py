@@ -50,16 +50,28 @@ class LwwRegister:
         self._version = version
 
     def merge(self, value: Any, version: Timestamp) -> bool:
-        """Remote merge: accept only strictly newer versions.
+        """Remote merge: accept newer versions; break value ties on equal
+        versions deterministically.
 
         Returns True when the remote write won.  Equal versions are
-        impossible across distinct switches (node id is part of the
-        order) and idempotent re-delivery of our own write is a no-op.
+        impossible across distinct switches under correct operation
+        (node id is part of the order), so idempotent re-delivery of our
+        own write is a no-op — but a *corrupted* replica can hold a
+        different value under the same stamp (a register bit-flip leaves
+        the version intact).  Convergence must still be guaranteed, so
+        an equal-version value conflict resolves to the larger
+        ``repr``: every replica picks the same winner, and the
+        anti-entropy scrubber's forced sync round heals the divergence
+        instead of gossiping it forever.
         """
         if version > self._version:
             self._value = value
             self._version = version
             return True
+        if version == self._version and value != self._value:
+            if repr(value) > repr(self._value):
+                self._value = value
+                return True
         return False
 
     def state(self) -> Tuple[Any, Timestamp]:

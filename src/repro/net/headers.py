@@ -119,6 +119,10 @@ class SwiShmemOp(enum.Enum):
                        the controller's host switch (data-plane packet
                        generator traffic; loss/partition affects it like
                        any other packet)
+
+    Anti-entropy (repro.protocols.antientropy):
+      SCRUB_REPAIR   — authoritative (key, value, seq) re-propagated to
+                       a diverged chain member located by digest scrub
     """
 
     WRITE_REQUEST = "write_request"
@@ -130,6 +134,7 @@ class SwiShmemOp(enum.Enum):
     SNAPSHOT_WRITE = "snapshot_write"
     SNAPSHOT_ACK = "snapshot_ack"
     HEARTBEAT = "heartbeat"
+    SCRUB_REPAIR = "scrub_repair"
 
 
 @dataclass

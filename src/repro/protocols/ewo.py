@@ -29,7 +29,7 @@ back and waits one sync round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.registers import EwoMode, RegisterSpec
 from repro.crdt.clock import HybridClock, Timestamp
@@ -95,6 +95,12 @@ class EwoGroupState:
         self.clock = clock
         self.stats = EwoStats()
         self._pending_entries: List[EwoEntry] = []
+        #: Chaos hook (``FaultInjector.stale_replica``): until this sim
+        #: time, incoming merges are silently dropped — the replica's
+        #: apply unit is "stuck", so it serves increasingly stale state
+        #: while looking perfectly healthy.
+        self.chaos_frozen_until = 0.0
+        self.chaos_frozen_drops = 0
         if spec.ewo_mode is EwoMode.COUNTER:
             per_key = len(group_members) * (4 + spec.value_bytes)  # version+value per slot
             budget.allocate(f"ewo-store:{spec.name}", spec.capacity * per_key)
@@ -369,6 +375,11 @@ class EwoEngine:
         state = self.groups.get(update.group)
         if state is None:
             return
+        if state.chaos_frozen_until > self.sim.now:
+            # Fault injection: the apply unit is frozen; the packet is
+            # consumed but nothing merges (silent staleness).
+            state.chaos_frozen_drops += len(update.entries)
+            return
         is_sync = isinstance(update, EwoSync)
         if is_sync:
             state.stats.sync_packets_received += 1
@@ -446,6 +457,27 @@ class EwoEngine:
         target = self._pick_sync_target(group_id)
         if target is None:
             return 0
+        packets, _ = self._sync_to(state, group_id, target, "ewo.sync.round")
+        return packets
+
+    def force_sync(self, group_id: int, target: str) -> Tuple[int, int]:
+        """Targeted full-state sync toward ``target`` (anti-entropy repair).
+
+        The scrubber calls this on every live member when a replica is
+        found diverged: an immediate, directed merge-sync round instead
+        of waiting for the random gossip walk to reach the victim.
+        Returns ``(packets, bytes)`` so the coordinator can account
+        repair bandwidth.
+        """
+        state = self.groups.get(group_id)
+        if state is None or self.switch.failed or target == self.switch.name:
+            return (0, 0)
+        return self._sync_to(state, group_id, target, "ewo.sync.force")
+
+    def _sync_to(
+        self, state: EwoGroupState, group_id: int, target: str, span: str
+    ) -> Tuple[int, int]:
+        """Ship full known state to ``target`` in MTU-sized sync packets."""
         entries = self._full_state_entries(state)
         directory = getattr(self.manager.deployment, "directory", None)
         if directory is not None and state.spec.partial_replication:
@@ -456,11 +488,12 @@ class EwoEngine:
                 if target in directory.replicas_of(group_id, e.key)
             ]
         packets = 0
+        sync_bytes = 0
         round_ctx = self._causal.root() if entries else None
         if self._flightrec_on and round_ctx is not None:
             self._flightrec.record(
                 round_ctx,
-                "ewo.sync.round",
+                span,
                 self.switch.name,
                 self.sim.now,
                 group=group_id,
@@ -486,12 +519,13 @@ class EwoEngine:
             )
             if self.switch.generate_packet(packet, target):
                 packets += 1
+                sync_bytes += packet.wire_size
                 state.stats.sync_packets_sent += 1
                 state.stats.sync_entries_sent += len(chunk)
                 if self._metrics_on:
                     self._m_sync_packets.inc()
                     self._m_sync_bytes.inc(packet.wire_size)
-        return packets
+        return packets, sync_bytes
 
     def _pick_sync_target(self, group_id: int) -> Optional[str]:
         registry = self.switch.multicast

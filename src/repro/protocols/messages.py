@@ -22,11 +22,20 @@ Message flow summary (paper section 6):
 ``ControllerCommand``     leader replica -> switch control plane (epoch-fenced)
 ``ReconstructQuery``      new leader -> every switch (state reconstruction)
 ``ReconstructReply``      switch -> new leader (per-group chain view)
+``ScrubDigestQuery``      scrub coordinator -> member (digest-tree nodes)
+``ScrubDigestReply``      member -> coordinator (requested node digests)
+``ScrubKeyQuery``         coordinator -> member (per-key hashes of buckets)
+``ScrubKeyReply``         member -> coordinator (key-hash listing)
+``ScrubRepair``           authority member -> diverged member (data plane)
 ========================  =======================================================
 
-The last four ride the out-of-band management network (scheduled
+The management-plane messages (from ``Heartbeat`` down, except
+``ScrubRepair``) ride the out-of-band management network (scheduled
 callbacks paying ``config_latency``), not the data plane; they still
 carry ``wire_size`` so management-plane overhead can be accounted.
+``ScrubRepair`` is the one anti-entropy message on the data plane: the
+actual state re-propagation, subject to loss and chaos like any
+replication packet.
 """
 
 from __future__ import annotations
@@ -53,6 +62,11 @@ __all__ = [
     "ReconstructQuery",
     "GroupView",
     "ReconstructReply",
+    "ScrubDigestQuery",
+    "ScrubDigestReply",
+    "ScrubKeyQuery",
+    "ScrubKeyReply",
+    "ScrubRepair",
 ]
 
 _token_counter = itertools.count(1)
@@ -381,6 +395,105 @@ class GroupView:
     chain_version: int
     members: Tuple[str, ...]
     catching_up: bool
+
+
+@dataclass(frozen=True)
+class ScrubDigestQuery:
+    """Scrub coordinator asks one member for digest-tree nodes.
+
+    ``indexes`` names the nodes wanted at ``level`` (0 = root): a round
+    starts with the root and walks only the divergent subtrees, so the
+    exchange stays proportional to the divergence, not the store.
+    """
+
+    group: int
+    round_id: int
+    epoch: int
+    level: int
+    indexes: Tuple[int, ...]
+    sent_at: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        # round id (4) + epoch (4) + level (1) + 2 bytes per index
+        return _BASE_MSG_BYTES + 9 + 2 * len(self.indexes)
+
+
+@dataclass(frozen=True)
+class ScrubDigestReply:
+    """One member's digests for the requested tree nodes."""
+
+    group: int
+    round_id: int
+    switch: str
+    level: int
+    #: (index, 64-bit digest) pairs.
+    nodes: Tuple[Tuple[int, int], ...]
+    chain_version: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        # round id (4) + level (1) + version (4) + per node: index (2) + digest (8)
+        return _BASE_MSG_BYTES + 9 + 10 * len(self.nodes)
+
+
+@dataclass(frozen=True)
+class ScrubKeyQuery:
+    """Coordinator asks a member for the per-key hashes of divergent buckets."""
+
+    group: int
+    round_id: int
+    epoch: int
+    buckets: Tuple[int, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return _BASE_MSG_BYTES + 8 + 2 * len(self.buckets)
+
+
+@dataclass(frozen=True)
+class ScrubKeyReply:
+    """A member's (key, entry-hash) listing for the queried buckets."""
+
+    group: int
+    round_id: int
+    switch: str
+    #: (key, 64-bit entry hash) pairs across all queried buckets.
+    entries: Tuple[Tuple[Any, int], ...]
+    key_bytes: int = 8
+
+    @property
+    def wire_size(self) -> int:
+        return _BASE_MSG_BYTES + 8 + (self.key_bytes + 8) * len(self.entries)
+
+
+@dataclass
+class ScrubRepair:
+    """Authoritative state re-propagated to a diverged chain member.
+
+    Shaped like a :class:`SnapshotWrite`: carries the authority's
+    current applied ``seq`` for the key's slot so the victim applies
+    under the same monotone guard ("never overwrite newer with older"),
+    plus the chain ``epoch`` the scrub round was fenced on — a repair
+    planned before a failover must not resurrect pre-failover state.
+    """
+
+    group: int
+    key: Any
+    value: Any
+    seq: int
+    slot: int
+    source: str
+    epoch: int = 0
+    round_id: int = 0
+    key_bytes: int = 8
+    value_bytes: int = 8
+    trace: Any = _trace_field()
+
+    @property
+    def wire_size(self) -> int:
+        # slot/seq ride _BASE_MSG_BYTES framing; epoch (2) + round id (4)
+        return _BASE_MSG_BYTES + self.key_bytes + self.value_bytes + 6
 
 
 @dataclass(frozen=True)

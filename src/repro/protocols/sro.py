@@ -69,6 +69,26 @@ MAX_WRITE_TIMEOUT = 50e-3
 MAX_WRITE_ATTEMPTS = 25
 
 
+def _retry_horizon() -> float:
+    """Upper bound on how long after first send a retry can still arrive.
+
+    Sum of every backoff interval the writer can sleep through before
+    giving up, stretched by the maximum jitter factor (1.5x).  A dedup
+    entry older than this belongs to a write whose retries have all
+    fired (or whose writer gave up), so evicting it cannot cause a
+    duplicate re-sequencing.
+    """
+    total, timeout = 0.0, DEFAULT_WRITE_TIMEOUT
+    for _ in range(MAX_WRITE_ATTEMPTS):
+        total += min(MAX_WRITE_TIMEOUT, timeout)
+        timeout *= 2
+    return 1.5 * total
+
+
+#: See :func:`_retry_horizon`.
+RETRY_HORIZON = _retry_horizon()
+
+
 @dataclass
 class _OutstandingWrite:
     """Writer-side control-plane state for one in-flight write."""
@@ -177,11 +197,20 @@ class SroGroupState:
             spec.name, spec.effective_pending_slots(), budget
         )
         self.track_pending = track_pending
-        # Head-side dedup: token -> (seq, slot, assigned value).  The
-        # assigned value matters for fetch-add retries: re-sequencing a
-        # duplicate must re-propagate the original result, not add again.
-        self.dedup: "OrderedDict[WriteToken, Tuple[int, int, Any]]" = OrderedDict()
+        # Head-side dedup: token -> (seq, slot, assigned value, epoch,
+        # remembered-at).  The assigned value matters for fetch-add
+        # retries: re-sequencing a duplicate must re-propagate the
+        # original result, not add again.  The epoch (the chain version
+        # at remember time) bounds the table's lifetime: entries from
+        # configurations two or more reconfigurations old are eagerly
+        # evicted on descriptor install — but only once they are also
+        # past the writer retry horizon, because under churn (lossy
+        # control links flapping the leader) versions can advance far
+        # faster than a writer's backoff schedule drains.  The FIFO
+        # capacity bound backstops both.
+        self.dedup: "OrderedDict[WriteToken, Tuple[int, int, Any, int, float]]" = OrderedDict()
         self.dedup_capacity = max(64, spec.capacity // 4)
+        self.dedup_evictions = 0
         budget.allocate(
             f"sro-dedup:{spec.name}", self.dedup_capacity * (12 + spec.value_bytes)
         )
@@ -193,13 +222,43 @@ class SroGroupState:
         #: (the update still cuts through to the successor).
         self.chaos_drop_applies = 0
         self.chaos_dropped_applies = 0
+        #: Chaos hook (``FaultInjector.stale_replica``): until this sim
+        #: time, chain applies are silently lost the same way — a frozen
+        #: apply unit serving increasingly stale state.
+        self.chaos_frozen_until = 0.0
+        self.chaos_frozen_drops = 0
 
-    def remember_token(self, token: WriteToken, seq: int, slot: int, value: Any) -> None:
+    def remember_token(
+        self, token: WriteToken, seq: int, slot: int, value: Any, now: float
+    ) -> int:
+        """Record a sequenced token; returns FIFO evictions made for room."""
         if token in self.dedup:
-            return
+            return 0
+        evicted = 0
         if len(self.dedup) >= self.dedup_capacity:
             self.dedup.popitem(last=False)
-        self.dedup[token] = (seq, slot, value)
+            self.dedup_evictions += 1
+            evicted = 1
+        self.dedup[token] = (seq, slot, value, self.chain.version, now)
+        return evicted
+
+    def evict_dedup_epochs(self, current_version: int, now: float) -> int:
+        """Epoch-based eviction: drop tokens remembered two or more chain
+        configurations ago AND past the writer retry horizon.  Such a
+        token's write is either long committed (the writer was acked or
+        gave up) and no retry can still arrive, so re-sequencing cannot
+        happen.  The epoch-distance condition alone is not enough:
+        leader churn can advance versions every few milliseconds while
+        a backed-off writer legitimately retries for much longer."""
+        stale = [
+            token
+            for token, entry in self.dedup.items()
+            if entry[3] < current_version - 1 and now - entry[4] > RETRY_HORIZON
+        ]
+        for token in stale:
+            del self.dedup[token]
+        self.dedup_evictions += len(stale)
+        return len(stale)
 
 
 class SroEngine:
@@ -219,6 +278,12 @@ class SroEngine:
         # the process beforehand.
         self._token_seq = itertools.count(1)
         self.write_timeout = DEFAULT_WRITE_TIMEOUT
+        # Seeded jitter for retry backoff: after a loss burst kills many
+        # writes in the same instant, pure exponential backoff would
+        # retry them all in the same instant too (a thundering herd at
+        # the head).  A per-switch named stream keeps replays
+        # byte-identical per seed.
+        self._backoff_rng = manager.rng.stream(f"sro-backoff:{self.switch.name}")
         # Live telemetry (repro.obs): engine-level gauges plus per-group
         # instruments bound in add_group.  The deployment sets its
         # registry before constructing managers, so this sees the real
@@ -240,6 +305,9 @@ class SroEngine:
         self._m_reads_forwarded = metrics.counter("sro.reads_forwarded", self.switch.name)
         self._m_reads_tail = metrics.counter("sro.reads_tail", self.switch.name)
         self._m_retries = metrics.counter("sro.write_retries", self.switch.name)
+        self._m_dedup_occupancy = metrics.gauge("sro.dedup_occupancy", self.switch.name)
+        self._m_dedup_evictions = metrics.counter("sro.dedup_evictions", self.switch.name)
+        self._dedup_evictions_reported = 0
         # Data-plane write-buffering state and accounting (section 9).
         self._dp_holds: Dict[WriteToken, _DataplaneHold] = {}
         self.dp_holds_created = 0
@@ -259,7 +327,16 @@ class SroEngine:
         """Install a new chain descriptor (controller reconfiguration)."""
         state = self.groups[group_id]
         if chain.version >= state.chain.version:
+            advanced = chain.version > state.chain.version
             state.chain = chain
+            if advanced and state.dedup:
+                evicted = state.evict_dedup_epochs(chain.version, self.sim.now)
+                if evicted and self._metrics_on:
+                    self._m_dedup_evictions.inc(evicted)
+                    self._dedup_evictions_reported += evicted
+                    self._m_dedup_occupancy.set(
+                        sum(len(g.dedup) for g in self.groups.values())
+                    )
 
     def set_catching_up(self, group_id: int, value: bool) -> None:
         self.groups[group_id].catching_up = value
@@ -564,6 +641,14 @@ class SroEngine:
         timeout = min(
             MAX_WRITE_TIMEOUT, self.write_timeout * (2 ** (outstanding.attempts - 1))
         )
+        if outstanding.attempts > 1:
+            # Desynchronize retries: writes killed together by one loss
+            # burst must not all re-fire in the same instant at the head.
+            # First sends keep their deterministic deadline; only retry
+            # deadlines jitter, so fault-free runs draw nothing.
+            timeout = min(
+                MAX_WRITE_TIMEOUT, timeout * self._backoff_rng.uniform(0.5, 1.5)
+            )
         outstanding.timer = self.switch.control.set_timer(
             timeout, self._retry, token, label="sro-retry"
         )
@@ -638,7 +723,7 @@ class SroEngine:
             return
         remembered = state.dedup.get(request.token)
         if remembered is not None:
-            seq, slot, value = remembered
+            seq, slot, value = remembered[:3]
         else:
             slot = state.pending.slot_of(request.key)
             seq = state.pending.assign_seq(slot)
@@ -649,7 +734,17 @@ class SroEngine:
                 value = (current if current is not None else 0) + request.rmw_delta
             else:
                 value = request.value
-            state.remember_token(request.token, seq, slot, value)
+            state.remember_token(request.token, seq, slot, value, self.sim.now)
+            if self._metrics_on:
+                self._m_dedup_occupancy.set(
+                    sum(len(g.dedup) for g in self.groups.values())
+                )
+                evictions = sum(g.dedup_evictions for g in self.groups.values())
+                if evictions > self._dedup_evictions_reported:
+                    self._m_dedup_evictions.inc(
+                        evictions - self._dedup_evictions_reported
+                    )
+                    self._dedup_evictions_reported = evictions
         if self._flightrec_on:
             self._flightrec.record(
                 ctx,
@@ -696,14 +791,34 @@ class SroEngine:
         state = self.groups.get(update.group)
         if state is None or self.switch.failed:
             return
-        if state.chaos_drop_applies > 0:
+        frozen = state.chaos_frozen_until > self.sim.now
+        if state.chaos_drop_applies > 0 or frozen:
             # Fault injection: this member's dataplane silently loses the
             # apply (a register-write fault, section 6.3's motivating
-            # failure).  The update still cuts through to the successor —
-            # un-restamped, so the flight recorder sees *no* span from
-            # this node and the post-mortem names it as the losing hop.
-            state.chaos_drop_applies -= 1
-            state.chaos_dropped_applies += 1
+            # failure) — either a counted drop or a frozen apply unit
+            # (``stale_replica``).  The update still cuts through to the
+            # successor — un-restamped, so the flight recorder sees *no*
+            # span from this node and the post-mortem names it as the
+            # losing hop.
+            if frozen:
+                # One "stale" DivergenceEvent is logged at thaw time by
+                # the injector; per-drop events would double-count.
+                state.chaos_frozen_drops += 1
+            else:
+                from repro.protocols.antientropy import DivergenceEvent
+
+                state.chaos_drop_applies -= 1
+                state.chaos_dropped_applies += 1
+                self.manager.deployment.divergence_log.append(
+                    DivergenceEvent(
+                        group=update.group,
+                        switch=self.switch.name,
+                        kind="apply-drop",
+                        key=update.key,
+                        at=self.sim.now,
+                        detail=f"{self.switch.name} dropped seq {update.seq}",
+                    )
+                )
             successor = update.next_hop_after(self.switch.name)
             if successor is not None:
                 packet = Packet(
