@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples chaos scrub all clean
+.PHONY: install test bench tables examples chaos scrub advisor all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,11 @@ chaos:
 # divergence under compound chaos, detected and healed online.
 scrub:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scrub_repair.py --quick
+
+# Access-pattern profiler + consistency advisor (experiment T2):
+# re-derive Table 1 from live traffic, zero hand labels.
+advisor:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_access_advisor.py
 
 # The two artifacts EXPERIMENTS.md points reviewers at.
 all:

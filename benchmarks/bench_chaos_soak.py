@@ -54,6 +54,7 @@ from repro.chaos import FaultInjector, InvariantSuite, Nemesis
 from repro.core.manager import SwiShmemDeployment
 from repro.core.registers import Consistency, EwoMode, RegisterSpec
 from repro.net.topology import Topology, build_full_mesh
+from repro.obs.accessprof import AccessProfiler, NULL_ACCESS_PROFILER
 from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.engine import Simulator
@@ -98,6 +99,7 @@ def run_chaos_soak(
     metrics: MetricsRegistry = NULL_REGISTRY,
     controller_chaos: bool = False,
     flightrec: FlightRecorder = NULL_FLIGHT_RECORDER,
+    access_profiler: AccessProfiler = NULL_ACCESS_PROFILER,
 ) -> SoakResult:
     sim = Simulator()
     topo = Topology(sim, SeededRng(seed))
@@ -110,6 +112,7 @@ def run_chaos_soak(
         metrics=metrics,
         controller_replicas=3 if controller_chaos else 1,
         flight_recorder=flightrec,
+        access_profiler=access_profiler,
     )
     sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=256))
     ctr = dep.declare(RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER))

@@ -43,6 +43,7 @@ from repro.net.multicast import MulticastRegistry
 from repro.net.packet import Packet
 from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
+from repro.obs.accessprof import AccessProfiler, NULL_ACCESS_PROFILER
 from repro.obs.causal import CausalClock
 from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
@@ -151,6 +152,11 @@ class SwiShmemManager:
         self._metrics_on = metrics.enabled
         self._m_reads = metrics.counter("state.reads", switch.name)
         self._m_writes = metrics.counter("state.writes", switch.name)
+        # Access-pattern profiler (repro.obs.accessprof): like metrics,
+        # cached with its enabled flag at construction; all hooks are
+        # passive (profiler-internal state only, digest-neutral).
+        self._accessprof = deployment.access_profiler
+        self._accessprof_on = self._accessprof.enabled
         self._handles: Dict[int, RegisterHandle] = {}
         self._sync_generators: Dict[int, PacketGenerator] = {}
         self._ctx: Optional[PacketContext] = None
@@ -402,6 +408,8 @@ class SwiShmemManager:
 
     def register_read(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
         self._note_state_op(self._m_reads)
+        if self._accessprof_on:
+            self._accessprof.on_read(spec.group_id, key, self.switch.name, self.sim.now)
         packet = self._ctx.packet if self._ctx is not None else None
         if spec.consistency is Consistency.EWO:
             value = self.ewo.read(spec, key, default)
@@ -426,7 +434,7 @@ class SwiShmemManager:
             return
         if self._ctx is None:
             # Control-plane-originated write (no packet, nothing to buffer).
-            self.sro.initiate_writes([(spec, key, value)], None, None)
+            self.sro.initiate_writes([(spec, key, value)], None, None, origin="control")
             return
         self._ctx.write_set.append((spec, key, value))
 
@@ -447,7 +455,9 @@ class SwiShmemManager:
                 f"EWO group {spec.name!r}"
             )
         if self._ctx is None:
-            self.sro.initiate_writes([(spec, key, FetchAdd(amount))], None, None)
+            self.sro.initiate_writes(
+                [(spec, key, FetchAdd(amount))], None, None, origin="control"
+            )
             return
         self._ctx.write_set.append((spec, key, FetchAdd(amount)))
 
@@ -486,9 +496,15 @@ class SwiShmemManager:
         return removed
 
     def register_set_contains(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
+        if self._accessprof_on:
+            self._accessprof.on_read(spec.group_id, key, self.switch.name, self.sim.now)
         return self.ewo.set_contains(spec, key, element)
 
     def register_peek(self, spec: RegisterSpec, key: Any, default: Any) -> Any:
+        if self._accessprof_on:
+            self._accessprof.on_read(
+                spec.group_id, key, self.switch.name, self.sim.now, peek=True
+            )
         if spec.consistency is Consistency.EWO:
             return self.ewo.read(spec, key, default)
         state = self.sro.groups[spec.group_id]
@@ -532,6 +548,7 @@ class SwiShmemDeployment:
         controller_replicas: int = 1,
         lease_duration: Optional[float] = None,
         flight_recorder: FlightRecorder = NULL_FLIGHT_RECORDER,
+        access_profiler: AccessProfiler = NULL_ACCESS_PROFILER,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -554,6 +571,11 @@ class SwiShmemDeployment:
         #: *stamping* happens regardless — it is digest-neutral — only
         #: span recording is gated on this.
         self.flight_recorder = flight_recorder
+        #: Access-pattern profiler (repro.obs.accessprof).  Same rule as
+        #: metrics and the flight recorder: set before the managers are
+        #: built, because engines cache it (and its enabled flag) at
+        #: construction.
+        self.access_profiler = access_profiler
         self.address_book = address_book if address_book is not None else AddressBook()
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()
@@ -646,6 +668,8 @@ class SwiShmemDeployment:
         spec.group_id = next(self._group_ids)
         self.specs[spec.group_id] = spec
         self._spec_names[spec.name] = spec
+        if self.access_profiler.enabled:
+            self.access_profiler.describe_group(spec)
         chain: Optional[ChainDescriptor] = None
         if spec.consistency is Consistency.EWO:
             self.multicast.create(spec.group_id, members=self.switch_names)

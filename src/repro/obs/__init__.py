@@ -11,8 +11,22 @@ See docs/OBSERVABILITY.md for the full guide.  Quick start::
     registry.write_jsonl("metrics.jsonl")
 """
 
+from repro.obs.accessprof import (
+    AccessProfiler,
+    GroupProfile,
+    KeyProfile,
+    NULL_ACCESS_PROFILER,
+    NullAccessProfiler,
+    WindowedCount,
+)
+from repro.obs.advisor import ConsistencyAdvisor, GroupAdvice
 from repro.obs.causal import CausalClock, TraceContext
-from repro.obs.dashboard import render, render_registry
+from repro.obs.dashboard import (
+    render,
+    render_access_profile,
+    render_dashboard,
+    render_registry,
+)
 from repro.obs.flightrec import (
     DEFAULT_MAX_SPANS,
     FlightRecorder,
@@ -37,10 +51,21 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
     load_jsonl,
+    registry_from_records,
 )
 from repro.obs.profiler import HandlerStats, SimProfiler
 
 __all__ = [
+    "AccessProfiler",
+    "GroupProfile",
+    "KeyProfile",
+    "WindowedCount",
+    "NullAccessProfiler",
+    "NULL_ACCESS_PROFILER",
+    "ConsistencyAdvisor",
+    "GroupAdvice",
+    "render_access_profile",
+    "render_dashboard",
     "CausalClock",
     "TraceContext",
     "Span",
@@ -56,6 +81,7 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_LATENCY_BOUNDS",
     "load_jsonl",
+    "registry_from_records",
     "render",
     "render_registry",
     "IntHopRecord",

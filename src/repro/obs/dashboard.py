@@ -1,19 +1,44 @@
-"""Text dashboard: render a registry snapshot for terminals and logs.
+"""Text dashboard: render observability snapshots for terminals and logs.
 
 Benchmarks and the chaos soak call :func:`render` at the end of a run
-to show live counters alongside their usual tables.  The renderer works
-from the JSON-ready snapshot (not live instruments), so it can also
+to show live counters alongside their usual tables.  Every renderer
+works from JSON-ready snapshots (not live instruments), so it can also
 replay a snapshot loaded from a ``BENCH_*.json`` sidecar or a JSONL
 export.
+
+The dashboard is built from *panels* — each a list of pre-indented
+lines — stitched under one rule by :func:`render_panels`:
+
+* :func:`counters_panel`, :func:`gauges_panel`, :func:`histograms_panel`
+  render a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+* :func:`access_profile_panel` renders a
+  :meth:`~repro.obs.advisor.ConsistencyAdvisor.report` — per-group
+  read/write mix, recommended vs declared consistency class, and the
+  top-K hot registers;
+* :func:`render_dashboard` combines both sources into the full
+  multi-panel view.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["render", "render_registry"]
+__all__ = [
+    "render",
+    "render_registry",
+    "render_panels",
+    "render_dashboard",
+    "render_access_profile",
+    "counters_panel",
+    "gauges_panel",
+    "histograms_panel",
+    "access_profile_panel",
+]
+
+#: Dashboard line width, shared by every panel.
+WIDTH = 78
 
 
 def _fmt_value(value: float) -> str:
@@ -30,53 +55,187 @@ def _fmt_seconds(value: float) -> str:
     return f"{value * 1e6:.3f}us"
 
 
-def render(snapshot: Dict[str, List[Dict[str, Any]]], title: str = "metrics") -> str:
-    """Render a :meth:`MetricsRegistry.snapshot` dict as a text dashboard."""
-    width = 78
-    lines = ["=" * width, f"  {title}", "=" * width]
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.1f}/s"
 
-    counters = snapshot.get("counters", [])
-    if counters:
-        lines.append(f"  {'counter':<44} {'node':<16} {'value':>14}")
-        lines.append("  " + "-" * (width - 2))
-        for record in counters:
-            lines.append(
-                f"  {record['name']:<44.44} {record['node']:<16.16} "
-                f"{_fmt_value(record['value']):>14}"
-            )
 
-    gauges = snapshot.get("gauges", [])
-    if gauges:
+# ----------------------------------------------------------------------
+# Metric panels (one per instrument kind)
+# ----------------------------------------------------------------------
+
+def counters_panel(counters: Sequence[Dict[str, Any]]) -> List[str]:
+    if not counters:
+        return []
+    lines = [f"  {'counter':<44} {'node':<16} {'value':>14}",
+             "  " + "-" * (WIDTH - 2)]
+    for record in counters:
+        lines.append(
+            f"  {record['name']:<44.44} {record['node']:<16.16} "
+            f"{_fmt_value(record['value']):>14}"
+        )
+    return lines
+
+
+def gauges_panel(gauges: Sequence[Dict[str, Any]]) -> List[str]:
+    if not gauges:
+        return []
+    lines = [f"  {'gauge':<44} {'node':<16} {'value':>7} {'max':>6}",
+             "  " + "-" * (WIDTH - 2)]
+    for record in gauges:
+        lines.append(
+            f"  {record['name']:<44.44} {record['node']:<16.16} "
+            f"{_fmt_value(record['value']):>7} {_fmt_value(record['max']):>6}"
+        )
+    return lines
+
+
+def histograms_panel(histograms: Sequence[Dict[str, Any]]) -> List[str]:
+    if not histograms:
+        return []
+    lines = [
+        f"  {'histogram':<34} {'node':<12} {'count':>7} "
+        f"{'p50':>9} {'p99':>9} {'max':>9}",
+        "  " + "-" * (WIDTH - 2),
+    ]
+    for record in histograms:
+        lines.append(
+            f"  {record['name']:<34.34} {record['node']:<12.12} "
+            f"{record['count']:>7} {_fmt_seconds(record['p50']):>9} "
+            f"{_fmt_seconds(record['p99']):>9} {_fmt_seconds(record['max']):>9}"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Access-profile panel (repro.obs.advisor report)
+# ----------------------------------------------------------------------
+
+def access_profile_panel(
+    report: Dict[str, Any], top_keys: int = 8
+) -> List[str]:
+    """Render a :meth:`ConsistencyAdvisor.report` dict as panel lines.
+
+    Three sections: the per-group classification table (read/write mix,
+    declared vs recommended class, mismatches flagged ``<<``), the
+    high-confidence mismatch report, and the ranked hot-key table.
+    """
+    groups = report.get("groups", [])
+    if not groups:
+        return ["  (no register groups profiled)"]
+    lines = [
+        f"  {'register group':<16} {'nf':<12} {'wr freq':<14} {'rd freq':<12} "
+        f"{'pattern':<16} {'class':<12}",
+        "  " + "-" * (WIDTH - 2),
+    ]
+    for g in groups:
+        declared = g["declared"].upper()
+        recommended = g["recommended"].upper()
+        if g["mismatch"]:
+            klass = f"{declared}->{recommended} <<"
+        else:
+            klass = declared
+        lines.append(
+            f"  {g['name']:<16.16} {(g['nf'] or '-'):<12.12} "
+            f"{g['write_freq']:<14.14} {g['read_freq']:<12.12} "
+            f"{g['pattern']:<16.16} {klass:<12}"
+        )
+    mismatches = report.get("mismatches", [])
+    if mismatches:
         lines.append("")
-        lines.append(f"  {'gauge':<44} {'node':<16} {'value':>7} {'max':>6}")
-        lines.append("  " + "-" * (width - 2))
-        for record in gauges:
+        lines.append("  mismatch report (high confidence):")
+        for g in mismatches:
             lines.append(
-                f"  {record['name']:<44.44} {record['node']:<16.16} "
-                f"{_fmt_value(record['value']):>7} {_fmt_value(record['max']):>6}"
+                f"    {g['name']}: declared {g['declared'].upper()}, "
+                f"observed traffic suggests {g['recommended'].upper()}"
             )
-
-    histograms = snapshot.get("histograms", [])
-    if histograms:
+            lines.append(f"      {g['rationale']}")
+    hot = report.get("hot_keys", [])[:top_keys]
+    if hot:
         lines.append("")
         lines.append(
-            f"  {'histogram':<34} {'node':<12} {'count':>7} "
-            f"{'p50':>9} {'p99':>9} {'max':>9}"
+            f"  {'hot key':<30} {'group':<16} {'reads':>8} {'writes':>8} "
+            f"{'rate':>10}"
         )
-        lines.append("  " + "-" * (width - 2))
-        for record in histograms:
+        lines.append("  " + "-" * (WIDTH - 2))
+        for record in hot:
             lines.append(
-                f"  {record['name']:<34.34} {record['node']:<12.12} "
-                f"{record['count']:>7} {_fmt_seconds(record['p50']):>9} "
-                f"{_fmt_seconds(record['p99']):>9} {_fmt_seconds(record['max']):>9}"
+                f"  {record['key']:<30.30} {record['group']:<16.16} "
+                f"{record['reads']:>8} {record['writes']:>8} "
+                f"{_fmt_rate(record['windowed_rate']):>10}"
             )
+    return lines
 
-    if len(lines) == 3:
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+
+def render_panels(title: str, panels: Sequence[Tuple[str, List[str]]]) -> str:
+    """Stitch named panels into one ruled dashboard.
+
+    ``panels`` is ``[(heading, lines)]``; empty panels are skipped, and
+    the first panel's heading is omitted when it matches the dashboard
+    title (the legacy single-snapshot layout).
+    """
+    lines = ["=" * WIDTH, f"  {title}", "=" * WIDTH]
+    rendered_any = False
+    for heading, panel_lines in panels:
+        if not panel_lines:
+            continue
+        if rendered_any:
+            lines.append("")
+        if heading and heading != title:
+            lines.append(f"  -- {heading} --")
+        lines.extend(panel_lines)
+        rendered_any = True
+    if not rendered_any:
         lines.append("  (no instruments recorded)")
-    lines.append("=" * width)
+    lines.append("=" * WIDTH)
     return "\n".join(lines)
+
+
+def render(snapshot: Dict[str, List[Dict[str, Any]]], title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as a text dashboard."""
+    return render_panels(
+        title,
+        [
+            (title, counters_panel(snapshot.get("counters", []))),
+            (title, gauges_panel(snapshot.get("gauges", []))),
+            (title, histograms_panel(snapshot.get("histograms", []))),
+        ],
+    )
 
 
 def render_registry(registry: MetricsRegistry, title: str = "metrics") -> str:
     """Convenience wrapper: snapshot + render in one call."""
     return render(registry.snapshot(), title=title)
+
+
+def render_access_profile(
+    report: Dict[str, Any], title: str = "access profile", top_keys: int = 8
+) -> str:
+    """Render an advisor report as a standalone dashboard section."""
+    return render_panels(title, [(title, access_profile_panel(report, top_keys))])
+
+
+def render_dashboard(
+    snapshot: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+    access_report: Optional[Dict[str, Any]] = None,
+    title: str = "swishmem dashboard",
+    top_keys: int = 8,
+) -> str:
+    """The full multi-panel dashboard: metrics plus access profile."""
+    panels: List[Tuple[str, List[str]]] = []
+    if snapshot is not None:
+        panels.append(("counters", counters_panel(snapshot.get("counters", []))))
+        panels.append(("gauges", gauges_panel(snapshot.get("gauges", []))))
+        panels.append(("histograms", histograms_panel(snapshot.get("histograms", []))))
+    if access_report is not None:
+        panels.append(
+            ("access profile", access_profile_panel(access_report, top_keys))
+        )
+    return render_panels(title, panels)

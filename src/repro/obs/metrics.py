@@ -45,6 +45,7 @@ __all__ = [
     "NULL_HISTOGRAM",
     "DEFAULT_LATENCY_BOUNDS",
     "load_jsonl",
+    "registry_from_records",
 ]
 
 #: Default histogram bucket upper bounds, in seconds: 200 ns .. 200 ms,
@@ -342,8 +343,15 @@ class MetricsRegistry:
                     )
                 mine.count += instrument.count
                 mine.sum += instrument.sum
-                mine.min = min(mine.min, instrument.min)
-                mine.max = max(mine.max, instrument.max)
+                # Fold min and the exact observed max (which the
+                # overflow bucket's percentile estimate reports) only
+                # when the other side actually saw samples: an empty
+                # histogram round-tripped through as_dict carries
+                # min=0.0 / max=0.0 placeholders that must not clobber
+                # real extremes.
+                if instrument.count:
+                    mine.min = min(mine.min, instrument.min)
+                    mine.max = max(mine.max, instrument.max)
                 mine.overflow += instrument.overflow
                 for i, bucket in enumerate(instrument.buckets):
                     mine.buckets[i] += bucket
@@ -380,3 +388,38 @@ def load_jsonl(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def registry_from_records(records: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Rebuild a live registry from :func:`load_jsonl` records.
+
+    The inverse of :meth:`MetricsRegistry.write_jsonl` /
+    :meth:`~MetricsRegistry.snapshot` for every field the instruments
+    persist, so ``load_jsonl -> registry_from_records -> merge ->
+    snapshot`` round-trips multi-run aggregation.  Empty histograms get
+    their ``min`` restored to the live-instrument sentinel (``inf``)
+    rather than the serialized 0.0, so merging real samples into a
+    reconstructed registry keeps the true minimum.
+    """
+    registry = MetricsRegistry()
+    for record in records:
+        kind = record["kind"]
+        if kind == "counter":
+            registry.counter(record["name"], record["node"]).inc(record["value"])
+        elif kind == "gauge":
+            gauge = registry.gauge(record["name"], record["node"])
+            gauge.set(record["value"])
+            gauge.max_value = max(gauge.max_value, record["max"])
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                record["name"], record["node"], bounds=tuple(record["bounds"])
+            )
+            histogram.count = record["count"]
+            histogram.sum = record["sum"]
+            histogram.min = record["min"] if record["count"] else float("inf")
+            histogram.max = record["max"]
+            histogram.buckets = list(record["buckets"])
+            histogram.overflow = record["overflow"]
+        else:
+            raise ValueError(f"unknown instrument kind {kind!r}")
+    return registry

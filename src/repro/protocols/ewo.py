@@ -168,6 +168,10 @@ class EwoEngine:
         self._causal = manager.causal
         self._flightrec = manager.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
+        # Access-pattern profiler (repro.obs.accessprof): local writes
+        # and merge outcomes feed it; passive and digest-neutral.
+        self._accessprof = manager.deployment.access_profiler
+        self._accessprof_on = self._accessprof.enabled
         self._m_sync_packets = metrics.counter("ewo.sync_packets", self.switch.name)
         self._m_sync_bytes = metrics.counter("ewo.sync_bytes", self.switch.name)
         self._m_update_packets = metrics.counter("ewo.update_packets", self.switch.name)
@@ -219,6 +223,8 @@ class EwoEngine:
         stamp = state.clock.now()
         state.cell_for(key).write(value, stamp)
         state.stats.local_writes += 1
+        if self._accessprof_on:
+            self._note_write(spec.group_id, key, "overwrite")
         self._queue_entry(state, EwoEntry(key=key, version=stamp, value=value))
 
     def increment(self, spec: RegisterSpec, key: Any, amount: int) -> int:
@@ -229,6 +235,8 @@ class EwoEngine:
         vector = state.vector_for(key)
         vector[state.my_slot] += amount
         state.stats.local_writes += 1
+        if self._accessprof_on:
+            self._note_write(spec.group_id, key, "increment")
         self._queue_entry(
             state, EwoEntry(key=key, version=state.my_slot, value=vector[state.my_slot])
         )
@@ -241,6 +249,8 @@ class EwoEngine:
             raise TypeError(f"group {spec.name!r} is not an OR-Set group")
         tag = state.set_for(key).add(element)
         state.stats.local_writes += 1
+        if self._accessprof_on:
+            self._note_write(spec.group_id, key, "set_add")
         self._queue_entry(state, EwoEntry(key=key, version=("add", tag), value=element))
 
     def set_remove(self, spec: RegisterSpec, key: Any, element: Any) -> bool:
@@ -253,6 +263,8 @@ class EwoEngine:
         if not orset.remove(element):
             return False
         state.stats.local_writes += 1
+        if self._accessprof_on:
+            self._note_write(spec.group_id, key, "set_remove")
         self._queue_entry(
             state, EwoEntry(key=key, version=("rm", observed), value=element)
         )
@@ -273,6 +285,15 @@ class EwoEngine:
         if state.sets is None:
             return 0
         return sum(s.state_bytes for s in state.sets.values())
+
+    def _note_write(self, group_id: int, key: Any, op: str) -> None:
+        """Feed one local write to the access profiler.  EWO writes are
+        data-plane when made inside a packet pass (the manager's context
+        is live) and control-plane otherwise (window tasks, management)."""
+        origin = "dataplane" if self.manager._ctx is not None else "control"
+        self._accessprof.on_write(
+            group_id, key, self.switch.name, self.sim.now, origin=origin, op=op
+        )
 
     # ------------------------------------------------------------------
     # Asynchronous broadcast
@@ -391,11 +412,21 @@ class EwoEngine:
                 applied += 1
                 if self._metrics_on:
                     self._m_merges_applied.inc()
+                if self._accessprof_on:
+                    self._accessprof.on_merge(
+                        update.group, entry.key, self.switch.name,
+                        update.origin, True, self.sim.now,
+                    )
             else:
                 state.stats.merges_stale += 1
                 stale += 1
                 if self._metrics_on:
                     self._m_merges_stale.inc()
+                if self._accessprof_on:
+                    self._accessprof.on_merge(
+                        update.group, entry.key, self.switch.name,
+                        update.origin, False, self.sim.now,
+                    )
         if self._flightrec_on and update.trace is not None:
             # One fan-in span per received packet: merges from many
             # origins parent into each origin's broadcast/sync span.

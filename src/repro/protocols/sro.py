@@ -49,7 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.chain import ChainDescriptor
 from repro.core.pending import PendingTable
-from repro.core.registers import Consistency, ReadForwarded, RegisterSpec
+from repro.core.registers import Consistency, FetchAdd, ReadForwarded, RegisterSpec
 from repro.net.headers import SwiShmemHeader, SwiShmemOp
 from repro.net.packet import Packet
 from repro.protocols.messages import ChainUpdate, WriteAck, WriteRequest, WriteToken
@@ -296,6 +296,10 @@ class SroEngine:
         self._causal = manager.causal
         self._flightrec = manager.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
+        # Access-pattern profiler (repro.obs.accessprof): write initiates
+        # and chain applies feed it; passive and digest-neutral.
+        self._accessprof = manager.deployment.access_profiler
+        self._accessprof_on = self._accessprof.enabled
         self._m_outstanding = metrics.gauge("sro.outstanding_writes", self.switch.name)
         self._m_pending = metrics.gauge("sro.pending_bits", self.switch.name)
         self._m_commit_latency = metrics.histogram(
@@ -438,8 +442,6 @@ class SroEngine:
     # ------------------------------------------------------------------
     def _build_request(self, spec: RegisterSpec, key: Any, value: Any) -> WriteRequest:
         """Build a request, translating FetchAdd markers into RMW requests."""
-        from repro.core.registers import FetchAdd
-
         rmw_delta = value.amount if isinstance(value, FetchAdd) else None
         request = WriteRequest(
             group=spec.group_id,
@@ -470,11 +472,15 @@ class SroEngine:
         output_packet: Optional[Packet],
         output_dst: Optional[str],
         on_release=None,
+        origin: str = "dataplane",
     ) -> None:
         """Punt P' and the write set Q to the control plane.
 
         ``writes`` is [(spec, key, value)].  The output packet (if any)
-        is buffered until every write in the set commits.
+        is buffered until every write in the set commits.  ``origin``
+        records who initiated the set — ``"dataplane"`` for packet
+        passes, ``"control"`` for management-API writes — purely for the
+        access profiler (the protocol treats both identically).
 
         Groups declared with ``dataplane_write_buffering`` take the
         recirculation path instead (no CPU); a mixed write set falls
@@ -483,7 +489,7 @@ class SroEngine:
         if not writes:
             return
         if all(spec.dataplane_write_buffering for spec, _, _ in writes):
-            self._initiate_dataplane(writes, output_packet, output_dst, on_release)
+            self._initiate_dataplane(writes, output_packet, output_dst, on_release, origin)
             return
         barrier_token = WriteToken(self.switch.name, next(self._token_seq))
         barrier = _PacketBarrier(
@@ -496,6 +502,15 @@ class SroEngine:
         for spec, key, value in writes:
             state = self.groups[spec.group_id]
             state.stats.writes_initiated += 1
+            if self._accessprof_on:
+                self._accessprof.on_write(
+                    spec.group_id,
+                    key,
+                    self.switch.name,
+                    self.sim.now,
+                    origin=origin,
+                    op="fetch_add" if isinstance(value, FetchAdd) else "overwrite",
+                )
             request = self._build_request(spec, key, value)
             outstanding = _OutstandingWrite(
                 request=request, started_at=self.sim.now, barrier=barrier
@@ -518,6 +533,7 @@ class SroEngine:
         output_packet: Optional[Packet],
         output_dst: Optional[str],
         on_release=None,
+        origin: str = "dataplane",
     ) -> None:
         barrier_token = WriteToken(self.switch.name, next(self._token_seq))
         barrier = _PacketBarrier(
@@ -527,6 +543,15 @@ class SroEngine:
         for spec, key, value in writes:
             state = self.groups[spec.group_id]
             state.stats.writes_initiated += 1
+            if self._accessprof_on:
+                self._accessprof.on_write(
+                    spec.group_id,
+                    key,
+                    self.switch.name,
+                    self.sim.now,
+                    origin=origin,
+                    op="fetch_add" if isinstance(value, FetchAdd) else "overwrite",
+                )
             request = self._build_request(spec, key, value)
             outstanding = _OutstandingWrite(
                 request=request, started_at=self.sim.now, barrier=barrier
@@ -882,6 +907,10 @@ class SroEngine:
         elif state.pending.is_next_in_order(slot, update.seq):
             state.store[update.key] = update.value
             state.pending.mark_applied(slot, update.seq)
+            if self._accessprof_on:
+                self._accessprof.on_apply(
+                    update.group, update.key, self.switch.name, self.sim.now
+                )
             pending_set = False
             if state.track_pending and not is_tail:
                 if self._metrics_on and not state.pending.is_pending(slot):
@@ -916,6 +945,10 @@ class SroEngine:
             # catching-up switch applies out-of-order (paper 6.3).
             state.store[update.key] = update.value
             state.pending.force_applied(slot, update.seq)
+            if self._accessprof_on:
+                self._accessprof.on_apply(
+                    update.group, update.key, self.switch.name, self.sim.now
+                )
             if self._flightrec_on:
                 self._flightrec.record(
                     ctx,

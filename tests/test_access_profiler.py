@@ -1,0 +1,346 @@
+"""Tests for the streaming access profiler and the consistency advisor:
+windowed counters, top-K promotion/eviction over the count-min tail,
+hot-path hook integration, observer neutrality (instrumented runs are
+byte-identical to uninstrumented ones), replay reproducibility of the
+windowed stats, the advisor's zero-hand-label classification, and the
+dashboard's access-profile panel."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.registers import Consistency, EwoMode, RegisterSpec
+from repro.nf.firewall import FirewallNF
+from repro.nf.ratelimiter import RateLimiterNF
+from repro.obs import (
+    AccessProfiler,
+    ConsistencyAdvisor,
+    MetricsRegistry,
+    NULL_ACCESS_PROFILER,
+    NullAccessProfiler,
+    render_access_profile,
+    render_dashboard,
+)
+from repro.obs.accessprof import DEFAULT_TOP_K, WindowedCount
+from repro.workload.flows import FlowGenerator
+from tests.nfworld import build_nf_world
+
+
+def _spec(name: str, consistency: Consistency, group_id: int, **kwargs) -> RegisterSpec:
+    spec = RegisterSpec(name, consistency, **kwargs)
+    spec.group_id = group_id
+    return spec
+
+
+def _run_firewall(seed: int = 7, profiler: AccessProfiler = None, flows: int = 10):
+    kwargs = {} if profiler is None else {"access_profiler": profiler}
+    world = build_nf_world(seed=seed, **kwargs)
+    world.deployment.install_nf(FirewallNF)
+    generator = FlowGenerator(
+        world.sim,
+        world.clients,
+        world.server_ips(),
+        world.rng,
+        flow_rate=4000,
+        data_packets=4,
+        inter_packet_gap=2e-3,
+    )
+    generator.start(duration=flows / 4000)
+    world.sim.run(until=0.12)
+    return world
+
+
+def _digest(world) -> str:
+    """Event-history digest: kernel event count, per-host injections, and
+    the firewall table's replica states."""
+    spec = world.deployment.spec_by_name("fw_conntrack")
+    stores = tuple(
+        tuple(sorted(store.items(), key=lambda kv: repr(kv[0])))
+        for store in world.deployment.sro_stores(spec)
+    )
+    history = (
+        world.sim.events_processed,
+        tuple(h.sent_count for h in world.clients + world.servers),
+        stores,
+    )
+    return hashlib.sha256(repr(history).encode("utf-8")).hexdigest()
+
+
+class TestWindowedCount:
+    def test_counts_within_one_window(self):
+        wc = WindowedCount(window=1e-3)
+        wc.add(0.1e-3)
+        wc.add(0.2e-3, amount=2)
+        assert wc.total == 3
+        assert wc.windowed(0.5e-3) == pytest.approx(3.0)
+
+    def test_sliding_interpolation_across_roll(self):
+        wc = WindowedCount(window=1e-3)
+        for _ in range(4):
+            wc.add(0.5e-3)
+        wc.add(1.1e-3)  # rolls: previous=4, current=1
+        # 30% into the new window: 1 + 0.7 * 4
+        assert wc.windowed(1.3e-3) == pytest.approx(1 + 0.7 * 4)
+        assert wc.rate(1.3e-3) == pytest.approx((1 + 0.7 * 4) / 1e-3)
+
+    def test_stale_windows_decay_to_zero(self):
+        wc = WindowedCount(window=1e-3)
+        wc.add(0.5e-3, amount=9)
+        # one full window later the count only lingers via interpolation
+        assert wc.windowed(1.0e-3) == pytest.approx(9.0)
+        # two windows later it is gone, but the lifetime total remains
+        assert wc.windowed(2.5e-3) == 0.0
+        assert wc.total == 9
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowedCount(window=0.0)
+
+
+class TestTopKPromotion:
+    def test_first_k_keys_are_exact(self):
+        prof = AccessProfiler(top_k=2)
+        group = prof.describe_group(_spec("g", Consistency.EWO, 1))
+        prof.on_write(1, "a", "s0", 1e-3)
+        prof.on_write(1, "b", "s0", 2e-3)
+        assert set(group.keys) == {"a", "b"}
+        assert group.promotions == 2 and group.evictions == 0
+
+    def test_tail_key_promotes_past_weakest(self):
+        prof = AccessProfiler(top_k=2)
+        group = prof.describe_group(_spec("g", Consistency.EWO, 1))
+        prof.on_write(1, "a", "s0", 1e-3)
+        for _ in range(3):
+            prof.on_write(1, "b", "s0", 2e-3)
+        # "c" lands in the sketch tail until its estimate beats the
+        # weakest exact resident ("a", 1 access)
+        prof.on_write(1, "c", "s0", 3e-3)
+        assert "c" not in group.keys
+        prof.on_write(1, "c", "s0", 4e-3)
+        assert "c" in group.keys and "a" not in group.keys
+        assert group.evictions == 1
+        # the promoted record carries its tail estimate forward
+        assert group.keys["c"].prior >= 2
+        # group-level totals were never lossy
+        assert group.writes == 6
+
+    def test_hot_key_ranking_is_deterministic(self):
+        prof = AccessProfiler(top_k=4)
+        prof.describe_group(_spec("g", Consistency.EWO, 1))
+        for count, key in ((5, "x"), (3, "y"), (1, "z")):
+            for _ in range(count):
+                prof.on_write(1, key, "s0", 1e-3)
+        ranked = prof.hot_keys(limit=3)
+        assert [k["key"] for k in ranked] == ["'x'", "'y'", "'z'"]
+
+    def test_default_top_k_is_bounded(self):
+        prof = AccessProfiler()
+        group = prof.describe_group(_spec("g", Consistency.EWO, 1))
+        for i in range(4 * DEFAULT_TOP_K):
+            prof.on_write(1, f"k{i}", "s0", 1e-3)
+        assert len(group.keys) <= DEFAULT_TOP_K
+        assert group.writes == 4 * DEFAULT_TOP_K
+
+
+class TestHookIntegration:
+    def test_firewall_world_is_profiled(self):
+        prof = AccessProfiler()
+        world = _run_firewall(profiler=prof)
+        group = prof.group("fw_conntrack")
+        assert group.nf == "firewall"
+        assert group.declared == "sro"
+        assert group.reads > group.writes > 0
+        # connection writes originate in the packet path, on >= 2 switches
+        assert group.writes_dataplane == group.writes
+        assert group.ops == {"overwrite": group.writes}
+        assert group.sharing_nodes >= 2
+        # chain replication applied updates at non-initiating members
+        assert group.applies > 0
+        assert group.keys  # per-flow records were tracked
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        prof = AccessProfiler()
+        _run_firewall(profiler=prof)
+        snap = prof.snapshot()
+        assert [g["group"] for g in snap["groups"]] == sorted(
+            g["group"] for g in snap["groups"]
+        )
+        json.dumps(snap)  # must not raise
+
+    def test_control_plane_writes_are_attributed(self, make_deployment):
+        prof = AccessProfiler()
+        dep, _, _ = make_deployment(3, access_profiler=prof)
+        spec = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=16))
+        dep.manager("s0").register_write(spec, "k", 1)
+        dep.sim.run(until=5e-3)
+        group = prof.group("reg")
+        assert group.writes_control == group.writes == 1
+        assert group.writes_dataplane == 0
+
+    def test_ewo_merges_are_counted(self, make_deployment):
+        prof = AccessProfiler()
+        dep, _, _ = make_deployment(3, access_profiler=prof)
+        spec = dep.declare(
+            RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER)
+        )
+        dep.manager("s0").register_increment(spec, "k", 1)
+        dep.manager("s1").register_increment(spec, "k", 1)
+        dep.sim.run(until=10e-3)
+        group = prof.group("ctr")
+        assert group.ops.get("increment") == 2
+        assert group.commutative_write_fraction == 1.0
+        assert group.merges_applied > 0
+
+
+class TestObserverNeutrality:
+    def test_instrumented_run_is_byte_identical(self):
+        baseline = _digest(_run_firewall())
+        prof = AccessProfiler()
+        instrumented = _digest(_run_firewall(profiler=prof))
+        assert prof.events > 0
+        assert instrumented == baseline
+
+    def test_windowed_stats_reproduce_across_replays(self):
+        def snapshot():
+            prof = AccessProfiler()
+            world = _run_firewall(profiler=prof)
+            return _digest(world), json.dumps(prof.snapshot(), sort_keys=True)
+
+        first_digest, first_snap = snapshot()
+        second_digest, second_snap = snapshot()
+        assert first_digest == second_digest
+        assert first_snap == second_snap
+
+    def test_different_seed_changes_the_profile(self):
+        prof_a, prof_b = AccessProfiler(), AccessProfiler()
+        _run_firewall(seed=7, profiler=prof_a)
+        _run_firewall(seed=8, profiler=prof_b)
+        assert json.dumps(prof_a.snapshot(), sort_keys=True) != json.dumps(
+            prof_b.snapshot(), sort_keys=True
+        )
+
+
+class TestNullProfiler:
+    def test_null_profiler_is_disabled_and_inert(self):
+        assert not NULL_ACCESS_PROFILER.enabled
+        assert NULL_ACCESS_PROFILER.describe_group(
+            _spec("g", Consistency.SRO, 1)
+        ) is None
+        NULL_ACCESS_PROFILER.on_write(1, "k", "s0", 1e-3)
+        NULL_ACCESS_PROFILER.on_read(1, "k", "s0", 1e-3)
+        assert NULL_ACCESS_PROFILER.groups == {}
+        assert NULL_ACCESS_PROFILER.snapshot()["groups"] == []
+
+    def test_deployment_defaults_to_null(self, make_deployment):
+        dep, _, _ = make_deployment(3)
+        assert isinstance(dep.access_profiler, NullAccessProfiler)
+
+
+class TestAdvisor:
+    """Synthetic profiles exercise each branch of the decision ladder."""
+
+    def _profiler(self):
+        prof = AccessProfiler()
+        prof.describe_group(_spec("meter", Consistency.EWO, 1, ewo_mode=EwoMode.COUNTER))
+        prof.describe_group(_spec("flows", Consistency.SRO, 2))
+        prof.describe_group(_spec("rules", Consistency.ERO, 3))
+        prof.describe_group(_spec("idle", Consistency.SRO, 4))
+        return prof
+
+    def test_decision_ladder(self):
+        prof = self._profiler()
+        packets = 100
+        for i in range(packets):
+            now = i * 1e-5
+            # meter: commutative write on every packet
+            prof.on_write(1, "src", "s0", now, op="increment")
+            # flows: read every packet, data-plane write per ~10 packets
+            prof.on_read(2, f"f{i % 4}", "s0", now)
+            if i % 10 == 0:
+                prof.on_write(2, f"f{i % 4}", "s1", now)
+            # rules: read every packet, one control-plane write total
+            prof.on_read(3, "sig", "s0", now)
+        prof.on_write(3, "sig", "s0", 1e-3, origin="control")
+
+        advisor = ConsistencyAdvisor(prof, packets=packets)
+        advice = {a.name: a for a in advisor.advise()}
+        assert advice["meter"].pattern == "write-per-packet"
+        assert advice["meter"].recommended == "ewo"
+        assert advice["flows"].pattern == "read-heavy"
+        assert advice["flows"].recommended == "sro"
+        assert advice["flows"].write_freq == "New connection"
+        assert advice["rules"].pattern == "single-writer"
+        assert advice["rules"].recommended == "ero"
+        assert advice["rules"].write_freq == "Low"
+        assert advice["idle"].pattern == "idle"
+        assert advice["idle"].confidence == "low"
+        assert advice["idle"].recommended == "sro"  # keeps the declaration
+        # everything agreed with its declaration: no mismatches
+        assert advisor.mismatches() == []
+
+    def test_mergeable_low_rate_writes_go_to_ewo(self):
+        prof = AccessProfiler()
+        prof.describe_group(_spec("sets", Consistency.EWO, 1, ewo_mode=EwoMode.ORSET))
+        for i in range(3):
+            prof.on_write(1, "members", "s0", i * 1e-3, op="set_add")
+        advice = ConsistencyAdvisor(prof, packets=1000).advice_for("sets")
+        assert advice.pattern == "mergeable"
+        assert advice.recommended == "ewo" and not advice.mismatch
+
+    def test_misdeclared_group_is_flagged_high_confidence(self):
+        prof = AccessProfiler()
+        prof.describe_group(_spec("meter", Consistency.SRO, 1))
+        for i in range(50):
+            prof.on_write(1, "src", "s0", i * 1e-5)
+        advisor = ConsistencyAdvisor(prof, packets=50)
+        (mismatch,) = advisor.mismatches()
+        assert mismatch.name == "meter"
+        assert mismatch.declared == "sro" and mismatch.recommended == "ewo"
+        assert mismatch.confidence == "high"
+
+    def test_low_confidence_is_excluded_from_mismatch_report(self):
+        prof = AccessProfiler()
+        prof.describe_group(_spec("ghost", Consistency.EWO, 1))
+        prof.on_read(1, "k", "s0", 1e-3)  # read-only: advice is a guess
+        advisor = ConsistencyAdvisor(prof, packets=100)
+        advice = advisor.advice_for("ghost")
+        assert advice.mismatch and advice.confidence == "low"
+        assert advisor.mismatches() == []
+
+    def test_rejects_negative_packets(self):
+        with pytest.raises(ValueError):
+            ConsistencyAdvisor(AccessProfiler(), packets=-1)
+
+    def test_report_and_dashboard_render(self):
+        prof = AccessProfiler()
+        world = build_nf_world(
+            seed=11, responder_servers=False, access_profiler=prof
+        )
+        world.deployment.install_nf(
+            RateLimiterNF, limit_bps=1e9, window=20e-3
+        )
+        generator = FlowGenerator(
+            world.sim, world.clients, world.server_ips(), world.rng,
+            flow_rate=4000, data_packets=4, inter_packet_gap=100e-6,
+        )
+        generator.start(duration=10 / 4000)
+        world.sim.run(until=0.12)
+        packets = sum(h.sent_count for h in world.clients + world.servers)
+        report = ConsistencyAdvisor(prof, packets=packets).report(hot_keys=4)
+        assert report["packets"] == packets
+        assert len(report["hot_keys"]) <= 4
+
+        text = render_access_profile(report)
+        assert "rl_usage" in text and "EWO" in text
+
+        registry = MetricsRegistry()
+        registry.counter("switch.rx_packets", "s0").inc(packets)
+        combined = render_dashboard(
+            snapshot=registry.snapshot(), access_report=report
+        )
+        assert "switch.rx_packets" in combined
+        assert "-- access profile --" in combined
+        assert "rl_usage" in combined

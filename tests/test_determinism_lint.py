@@ -106,6 +106,53 @@ class TestViolationsCaught:
     def test_file_derived_sys_path_allowed(self, tmp_path, source):
         assert self._lint_source(tmp_path, source) == []
 
+    def _lint_obs_source(self, tmp_path, source):
+        """Place the snippet under a repro/obs/ directory so the
+        wall-clock scope rule applies."""
+        obs_dir = tmp_path / "repro" / "obs"
+        obs_dir.mkdir(parents=True)
+        target = obs_dir / "snippet.py"
+        target.write_text(source)
+        return lint.lint_file(str(target))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\ntime.time()\n",
+            "import time\nstamp = time.time_ns()\n",
+            "import time as clk\nclk.time()\n",
+            "from time import time\n",
+            "from datetime import datetime\ndatetime.now()\n",
+            "import datetime\ndatetime.datetime.utcnow()\n",
+            "from datetime import date\ndate.today()\n",
+        ],
+    )
+    def test_wall_clock_in_obs_flagged(self, tmp_path, source):
+        violations = self._lint_obs_source(tmp_path, source)
+        assert len(violations) == 1
+        assert "wall clock" in violations[0][2]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the sim profiler's host-cost clock stays allowed
+            "import time\nclock = time.perf_counter\n",
+            # parsing/formatting does not read the clock
+            "from datetime import datetime\n"
+            "datetime.fromtimestamp(0.0)\n",
+            # attribute named like the module on another object is fine
+            "class C:\n    time = 1\nC().time\n",
+        ],
+    )
+    def test_non_wall_clock_time_use_allowed(self, tmp_path, source):
+        assert self._lint_obs_source(tmp_path, source) == []
+
+    def test_wall_clock_outside_obs_not_flagged(self, tmp_path):
+        """The rule is scoped: benchmark harness code may read the host
+        clock (it reports wall time, not simulated results)."""
+        violations = self._lint_source(tmp_path, "import time\ntime.time()\n")
+        assert violations == []
+
     def test_exempt_module_skipped(self):
         exempt = os.path.join(REPO_ROOT, "src", lint.EXEMPT_SUFFIX)
         assert os.path.exists(exempt)

@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     NULL_REGISTRY,
     load_jsonl,
+    registry_from_records,
 )
 from repro.obs.dashboard import render_registry
 from repro.obs.profiler import SimProfiler
@@ -127,6 +128,62 @@ class TestRegistry:
         assert merged.count == 2
         assert merged.buckets == [1, 1]
         assert (merged.min, merged.max) == (0.5, 1.5)
+
+    def test_jsonl_reload_merge_snapshot_round_trip(self, tmp_path):
+        """The multi-run aggregation pipeline: write_jsonl -> load_jsonl
+        -> registry_from_records -> merge -> snapshot reproduces what a
+        single registry holding both runs would report."""
+        run1, run2 = MetricsRegistry(), MetricsRegistry()
+        for run, factor in ((run1, 1), (run2, 10)):
+            run.counter("pkts", "s0").inc(3 * factor)
+            run.gauge("depth", "s0").set(2 * factor)
+            run.histogram("lat", "s0", bounds=(1.0, 2.0)).observe(0.5 * factor)
+        paths = []
+        for i, run in enumerate((run1, run2)):
+            path = str(tmp_path / f"run{i}.jsonl")
+            run.write_jsonl(path)
+            paths.append(path)
+
+        merged = registry_from_records(load_jsonl(paths[0]))
+        merged.merge(registry_from_records(load_jsonl(paths[1])))
+
+        assert merged.value("counter", "pkts", "s0") == 33
+        gauge = merged.get("gauge", "depth", "s0")
+        assert (gauge.value, gauge.max_value) == (20, 20)
+        hist = merged.get("histogram", "lat", "s0")
+        assert hist.count == 2
+        assert (hist.min, hist.max) == (0.5, 5.0)
+        assert hist.buckets == [1, 0]
+        assert hist.overflow == 1
+        # snapshots of the reconstruction and a directly merged registry
+        # are byte-identical
+        direct = run1.merge(run2)
+        assert merged.snapshot() == direct.snapshot()
+
+    def test_reloaded_empty_histogram_does_not_clobber_min(self, tmp_path):
+        """An empty histogram serializes min as 0.0; reloading must
+        restore the live sentinel so later merges keep the real
+        minimum."""
+        empty = MetricsRegistry()
+        empty.histogram("lat", "s0", bounds=(1.0,))
+        path = str(tmp_path / "empty.jsonl")
+        empty.write_jsonl(path)
+
+        restored = registry_from_records(load_jsonl(path))
+        real = MetricsRegistry()
+        real.histogram("lat", "s0", bounds=(1.0,)).observe(0.25)
+        restored.merge(real)
+        hist = restored.get("histogram", "lat", "s0")
+        assert (hist.min, hist.max) == (0.25, 0.25)
+        # and merging the empty side into the real side is also safe
+        real2 = MetricsRegistry()
+        real2.histogram("lat", "s0", bounds=(1.0,)).observe(0.25)
+        real2.merge(registry_from_records(load_jsonl(path)))
+        assert real2.get("histogram", "lat", "s0").min == 0.25
+
+    def test_registry_from_records_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            registry_from_records([{"kind": "sketch", "name": "x", "node": "s0"}])
 
     def test_merge_rejects_differing_bounds(self):
         a, b = MetricsRegistry(), MetricsRegistry()

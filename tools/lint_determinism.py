@@ -23,6 +23,15 @@ This lint walks the AST of every Python file and flags:
   argument is a *relative* string literal (``"."``, ``""``, ``".."``,
   ``"src"``...) — ``__file__``-derived expressions are fine.
 
+* inside ``src/repro/obs/`` only: any wall-clock read — ``time.time()``
+  / ``time.time_ns()`` (under any import alias or ``from time import``)
+  and ``datetime.now()`` / ``utcnow()`` / ``today()``.  The
+  observability layer feeds replay digests and committed benchmark
+  sidecars, so its outputs must be pure functions of sim time carried
+  by the caller.  ``time.perf_counter`` stays allowed: it is the sim
+  profiler's host-cost clock, measuring the harness rather than the
+  simulation.
+
 ``src/repro/sim/random.py`` is exempt: it is the module that wraps the
 stdlib generator behind :class:`SeededRng`, the seam everything else
 must go through.
@@ -51,14 +60,29 @@ EXEMPT_SUFFIX = os.path.join("repro", "sim", "random.py")
 #: explicitly seeded generator class.
 ALLOWED_ATTR = "Random"
 
+#: Wall-clock reads are forbidden under this path fragment (the
+#: observability layer, whose exports feed replay digests).
+WALLCLOCK_SCOPE = os.path.join("repro", "obs") + os.sep
+
+#: Wall-clock attributes of the ``time`` module (``perf_counter`` and
+#: friends stay allowed — they time the harness, not the simulation).
+WALLCLOCK_TIME_ATTRS = frozenset({"time", "time_ns"})
+
+#: Wall-clock constructors on ``datetime``/``date`` classes.
+WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
 Violation = Tuple[str, int, str]
 
 
 class _RandomUseVisitor(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, check_wallclock: bool = False) -> None:
         self.path = path
+        self.check_wallclock = check_wallclock
         self.aliases: set = set()
         self.sys_aliases: set = set()
+        self.time_aliases: set = set()
+        self.datetime_aliases: set = set()
+        self.datetime_classes: set = set()
         self.violations: List[Violation] = []
 
     def visit_Import(self, node: ast.Import) -> None:
@@ -67,6 +91,10 @@ class _RandomUseVisitor(ast.NodeVisitor):
                 self.aliases.add(alias.asname or alias.name)
             if alias.name == "sys":
                 self.sys_aliases.add(alias.asname or alias.name)
+            if alias.name == "time":
+                self.time_aliases.add(alias.asname or alias.name)
+            if alias.name == "datetime":
+                self.datetime_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -107,7 +135,31 @@ class _RandomUseVisitor(ast.NodeVisitor):
                         f"unseeded process-global generator; use "
                         f"repro.sim.random.SeededRng (or random.Random)",
                     ))
+        if node.module == "datetime" and node.level == 0:
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_classes.add(alias.asname or alias.name)
+        if self.check_wallclock and node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name in WALLCLOCK_TIME_ATTRS:
+                    self.violations.append((
+                        self.path,
+                        node.lineno,
+                        f"'from time import {alias.name}' reads the wall "
+                        f"clock inside the observability layer; take sim "
+                        f"time from the caller instead",
+                    ))
         self.generic_visit(node)
+
+    def _is_datetime_class(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in self.datetime_classes
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("datetime", "date")
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.datetime_aliases
+        )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if (
@@ -122,6 +174,28 @@ class _RandomUseVisitor(ast.NodeVisitor):
                 f"process-global generator; use repro.sim.random.SeededRng "
                 f"(or construct a seeded random.Random)",
             ))
+        if self.check_wallclock:
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.time_aliases
+                and node.attr in WALLCLOCK_TIME_ATTRS
+            ):
+                self.violations.append((
+                    self.path,
+                    node.lineno,
+                    f"'{node.value.id}.{node.attr}' reads the wall clock "
+                    f"inside the observability layer (its exports feed "
+                    f"replay digests); take sim time from the caller "
+                    f"instead",
+                ))
+            elif node.attr in WALLCLOCK_DATETIME_ATTRS and self._is_datetime_class(node.value):
+                self.violations.append((
+                    self.path,
+                    node.lineno,
+                    f"'datetime.{node.attr}' reads the wall clock inside "
+                    f"the observability layer (its exports feed replay "
+                    f"digests); take sim time from the caller instead",
+                ))
         self.generic_visit(node)
 
 
@@ -134,7 +208,8 @@ def lint_file(path: str) -> List[Violation]:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
-    visitor = _RandomUseVisitor(path)
+    check_wallclock = WALLCLOCK_SCOPE in os.path.normpath(os.path.abspath(path))
+    visitor = _RandomUseVisitor(path, check_wallclock=check_wallclock)
     visitor.visit(tree)
     return visitor.violations
 
