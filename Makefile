@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples chaos scrub advisor all clean
+.PHONY: install test bench tables examples chaos scrub advisor critpath all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,11 @@ scrub:
 # re-derive Table 1 from live traffic, zero hand labels.
 advisor:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_access_advisor.py
+
+# Critical-path tail attribution + live SLOs (experiment T3): why the
+# p99 is slow, cause by cause, with a digest-neutrality replay check.
+critpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_critpath_tails.py
 
 # The two artifacts EXPERIMENTS.md points reviewers at.
 all:

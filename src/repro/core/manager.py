@@ -47,6 +47,7 @@ from repro.obs.accessprof import AccessProfiler, NULL_ACCESS_PROFILER
 from repro.obs.causal import CausalClock
 from repro.obs.flightrec import FlightRecorder, NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.slo import NULL_SLO_MONITOR, SLOMonitor
 from repro.protocols.antientropy import ScrubAgent
 from repro.protocols.ewo import EwoEngine
 from repro.protocols.messages import WriteToken
@@ -549,6 +550,7 @@ class SwiShmemDeployment:
         lease_duration: Optional[float] = None,
         flight_recorder: FlightRecorder = NULL_FLIGHT_RECORDER,
         access_profiler: AccessProfiler = NULL_ACCESS_PROFILER,
+        slo_monitor: SLOMonitor = NULL_SLO_MONITOR,
     ) -> None:
         if not switches:
             raise ValueError("a deployment needs at least one switch")
@@ -576,6 +578,11 @@ class SwiShmemDeployment:
         #: built, because engines cache it (and its enabled flag) at
         #: construction.
         self.access_profiler = access_profiler
+        #: Live SLO monitor (repro.obs.slo).  Same rule again: set
+        #: before the managers are built, because engines cache it (and
+        #: its enabled flag) at construction.  Evaluation is lazy off
+        #: the sim clock the hooks carry — digest-neutral.
+        self.slo_monitor = slo_monitor
         self.address_book = address_book if address_book is not None else AddressBook()
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()

@@ -21,11 +21,22 @@ from repro.obs.accessprof import (
 )
 from repro.obs.advisor import ConsistencyAdvisor, GroupAdvice
 from repro.obs.causal import CausalClock, TraceContext
+from repro.obs.critpath import (
+    CAUSES,
+    CriticalPathAnalyzer,
+    CritPathReport,
+    DEFAULT_PIPELINE_LATENCY,
+    HopAttribution,
+    Segment,
+    WriteAttribution,
+)
 from repro.obs.dashboard import (
     render,
     render_access_profile,
+    render_critpath,
     render_dashboard,
     render_registry,
+    render_slo,
 )
 from repro.obs.flightrec import (
     DEFAULT_MAX_SPANS,
@@ -54,6 +65,13 @@ from repro.obs.metrics import (
     registry_from_records,
 )
 from repro.obs.profiler import HandlerStats, SimProfiler
+from repro.obs.slo import (
+    NULL_SLO_MONITOR,
+    NullSLOMonitor,
+    SLOMonitor,
+    SLOObjective,
+    parse_objective,
+)
 
 __all__ = [
     "AccessProfiler",
@@ -64,8 +82,22 @@ __all__ = [
     "NULL_ACCESS_PROFILER",
     "ConsistencyAdvisor",
     "GroupAdvice",
+    "CAUSES",
+    "CriticalPathAnalyzer",
+    "CritPathReport",
+    "DEFAULT_PIPELINE_LATENCY",
+    "HopAttribution",
+    "Segment",
+    "WriteAttribution",
+    "SLOMonitor",
+    "SLOObjective",
+    "NullSLOMonitor",
+    "NULL_SLO_MONITOR",
+    "parse_objective",
     "render_access_profile",
+    "render_critpath",
     "render_dashboard",
+    "render_slo",
     "CausalClock",
     "TraceContext",
     "Span",

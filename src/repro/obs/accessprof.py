@@ -298,7 +298,7 @@ class GroupProfile:
         if not self.writes:
             return 0.0
         commutative = sum(
-            count for op, count in self.ops.items() if op in COMMUTATIVE_OPS
+            count for op, count in sorted(self.ops.items()) if op in COMMUTATIVE_OPS
         )
         return commutative / self.writes
 

@@ -15,7 +15,13 @@ lines — stitched under one rule by :func:`render_panels`:
   :meth:`~repro.obs.advisor.ConsistencyAdvisor.report` — per-group
   read/write mix, recommended vs declared consistency class, and the
   top-K hot registers;
-* :func:`render_dashboard` combines both sources into the full
+* :func:`critpath_panel` renders a
+  :meth:`~repro.obs.critpath.CritPathReport.as_dict` — the ranked
+  per-cause latency attribution and the tail breakdown;
+* :func:`slo_panel` renders an
+  :meth:`~repro.obs.slo.SLOMonitor.as_dict` — per-objective burn state
+  plus recent breach events;
+* :func:`render_dashboard` combines every source into the full
   multi-panel view.
 """
 
@@ -31,10 +37,14 @@ __all__ = [
     "render_panels",
     "render_dashboard",
     "render_access_profile",
+    "render_critpath",
+    "render_slo",
     "counters_panel",
     "gauges_panel",
     "histograms_panel",
     "access_profile_panel",
+    "critpath_panel",
+    "slo_panel",
 ]
 
 #: Dashboard line width, shared by every panel.
@@ -98,14 +108,17 @@ def histograms_panel(histograms: Sequence[Dict[str, Any]]) -> List[str]:
         return []
     lines = [
         f"  {'histogram':<34} {'node':<12} {'count':>7} "
-        f"{'p50':>9} {'p99':>9} {'max':>9}",
+        f"{'p50':>9} {'p99':>9} {'p999':>9} {'max':>9}",
         "  " + "-" * (WIDTH - 2),
     ]
     for record in histograms:
+        # Older snapshots may predate the p999 field; fall back to p99.
+        p999 = record.get("p999", record["p99"])
         lines.append(
             f"  {record['name']:<34.34} {record['node']:<12.12} "
             f"{record['count']:>7} {_fmt_seconds(record['p50']):>9} "
-            f"{_fmt_seconds(record['p99']):>9} {_fmt_seconds(record['max']):>9}"
+            f"{_fmt_seconds(record['p99']):>9} {_fmt_seconds(p999):>9} "
+            f"{_fmt_seconds(record['max']):>9}"
         )
     return lines
 
@@ -171,6 +184,104 @@ def access_profile_panel(
 
 
 # ----------------------------------------------------------------------
+# Critical-path attribution panel (repro.obs.critpath report)
+# ----------------------------------------------------------------------
+
+def critpath_panel(report: Dict[str, Any]) -> List[str]:
+    """Render a :meth:`CritPathReport.as_dict` as panel lines.
+
+    Two sections: the overall ranked cause table (seconds and share of
+    all attributed time), and the tail table restricted to writes at or
+    above the report's tail quantile, with the top tail cause flagged
+    ``<<``.  Output is a pure function of the report dict — byte-stable
+    under a fixed snapshot.
+    """
+    writes = report.get("writes_analyzed", 0)
+    if not writes:
+        return ["  (no committed writes analyzed)"]
+    lat = report.get("latency_us", {})
+    lines = [
+        f"  writes analyzed {writes}  skipped {report.get('writes_skipped', 0)}"
+        f"  merge hops {report.get('merge_hops', 0)}"
+        f"  read detours {report.get('read_detours', 0)}",
+        f"  commit latency  p50 {lat.get('p50', 0.0):.1f}us"
+        f"  p99 {lat.get('p99', 0.0):.1f}us"
+        f"  p999 {lat.get('p999', 0.0):.1f}us"
+        f"  max {lat.get('max', 0.0):.1f}us",
+        "",
+        f"  {'cause':<20} {'seconds':>12} {'share':>8}",
+        "  " + "-" * (WIDTH - 2),
+    ]
+    for row in report.get("causes", []):
+        lines.append(
+            f"  {row['cause']:<20.20} {row['seconds'] * 1e6:>10.1f}us "
+            f"{row['fraction'] * 100:>7.2f}%"
+        )
+    tail = report.get("tail", {})
+    if tail.get("writes"):
+        lines.append("")
+        lines.append(
+            f"  tail (>= p{tail['quantile'] * 100:g}, {tail['writes']} write(s)):"
+        )
+        top = tail.get("top_cause")
+        for row in tail.get("causes", []):
+            marker = " <<" if row["cause"] == top else ""
+            lines.append(
+                f"  {row['cause']:<20.20} {row['seconds'] * 1e6:>10.1f}us "
+                f"{row['fraction'] * 100:>7.2f}%{marker}"
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# SLO panel (repro.obs.slo monitor state)
+# ----------------------------------------------------------------------
+
+def slo_panel(state: Dict[str, Any], max_breaches: int = 5) -> List[str]:
+    """Render an :meth:`SLOMonitor.as_dict` as panel lines: one row per
+    objective (windows, breaches, burn rate, worst watermark), then the
+    most recent breach events."""
+    objectives = state.get("objectives", [])
+    if not objectives:
+        return ["  (no SLO objectives declared)"]
+    lines = [
+        f"  {'objective':<42} {'windows':>8} {'breach':>7} {'burn':>7} "
+        f"{'worst':>9}",
+        "  " + "-" * (WIDTH - 2),
+    ]
+    for obj in objectives:
+        worst = obj.get("worst_value")
+        if worst is None:
+            shown = "-"
+        elif obj["stat"] in ("availability", "count"):
+            shown = f"{worst:.4g}"
+        else:
+            shown = _fmt_seconds(worst)
+        lines.append(
+            f"  {obj['objective']:<42.42} {obj['windows_evaluated']:>8} "
+            f"{obj['windows_breached']:>7} {obj['burn_rate'] * 100:>6.1f}% "
+            f"{shown:>9}"
+        )
+    breaches = state.get("breaches", [])
+    if breaches:
+        lines.append("")
+        lines.append(f"  breach events ({len(breaches)} total, last {max_breaches}):")
+        for breach in breaches[-max_breaches:]:
+            if breach["stat"] in ("availability", "count"):
+                observed = f"{breach['observed']:.4g}"
+                threshold = f"{breach['threshold']:.4g}"
+            else:
+                observed = _fmt_seconds(breach["observed"])
+                threshold = _fmt_seconds(breach["threshold"])
+            lines.append(
+                f"    [{breach['window_start'] * 1e3:9.3f}ms] {breach['metric']} "
+                f"{breach['stat']} = {observed} (objective {breach['objective'].split(' over ')[0]},"
+                f" threshold {threshold})"
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
 # Assembly
 # ----------------------------------------------------------------------
 
@@ -222,13 +333,26 @@ def render_access_profile(
     return render_panels(title, [(title, access_profile_panel(report, top_keys))])
 
 
+def render_critpath(report: Dict[str, Any], title: str = "critical paths") -> str:
+    """Render a :meth:`CritPathReport.as_dict` as a standalone section."""
+    return render_panels(title, [(title, critpath_panel(report))])
+
+
+def render_slo(state: Dict[str, Any], title: str = "slo") -> str:
+    """Render an :meth:`SLOMonitor.as_dict` as a standalone section."""
+    return render_panels(title, [(title, slo_panel(state))])
+
+
 def render_dashboard(
     snapshot: Optional[Dict[str, List[Dict[str, Any]]]] = None,
     access_report: Optional[Dict[str, Any]] = None,
     title: str = "swishmem dashboard",
     top_keys: int = 8,
+    critpath_report: Optional[Dict[str, Any]] = None,
+    slo_state: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """The full multi-panel dashboard: metrics plus access profile."""
+    """The full multi-panel dashboard: metrics, access profile,
+    critical-path attribution, and SLO burn state."""
     panels: List[Tuple[str, List[str]]] = []
     if snapshot is not None:
         panels.append(("counters", counters_panel(snapshot.get("counters", []))))
@@ -238,4 +362,8 @@ def render_dashboard(
         panels.append(
             ("access profile", access_profile_panel(access_report, top_keys))
         )
+    if critpath_report is not None:
+        panels.append(("critical paths", critpath_panel(critpath_report)))
+    if slo_state is not None:
+        panels.append(("slo", slo_panel(slo_state)))
     return render_panels(title, panels)

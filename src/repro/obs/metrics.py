@@ -124,10 +124,12 @@ class Histogram:
     """A fixed-bucket distribution with cheap percentile estimates.
 
     ``bounds`` are inclusive upper bucket edges; samples above the last
-    bound land in an overflow bucket.  Percentiles are reported as the
-    upper edge of the bucket containing that quantile (overflow reports
-    the exact observed maximum), which is the standard fixed-bucket
-    estimate: at most one bucket width of error, zero per-sample cost.
+    bound land in an overflow bucket.  Percentiles interpolate linearly
+    within the bucket containing the quantile (the standard
+    fixed-bucket estimate, as a Prometheus ``histogram_quantile``
+    would), clamped to the exactly tracked ``min``/``max``, so a tail
+    readout never overstates by a full bucket width; the overflow
+    bucket interpolates toward the observed maximum.
     """
 
     __slots__ = ("name", "node", "bounds", "buckets", "overflow", "count", "sum", "min", "max")
@@ -167,18 +169,39 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Estimated value at quantile ``p`` in [0, 1]."""
+        """Estimated value at quantile ``p`` in [0, 1].
+
+        Linear interpolation within the matched bucket: the quantile's
+        fractional position among the bucket's samples picks a point
+        between the bucket's lower and upper edges.  The first bucket's
+        lower edge is the tracked minimum, and the overflow bucket
+        interpolates between the last bound and the tracked maximum;
+        the result is clamped to [min, max] so estimates stay inside
+        the observed range.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"percentile must be in [0, 1], got {p}")
         if self.count == 0:
             return 0.0
         rank = p * self.count
         cumulative = 0
+        lower = self.min
         for bound, bucket in zip(self.bounds, self.buckets):
-            cumulative += bucket
-            if cumulative >= rank:
-                return bound
-        return self.max  # quantile lands in the overflow bucket
+            if bucket:
+                cumulative += bucket
+                if cumulative >= rank:
+                    fraction = (rank - (cumulative - bucket)) / bucket
+                    value = lower + fraction * (bound - lower)
+                    return min(max(value, self.min), self.max)
+            lower = bound
+        # Quantile lands in the overflow bucket: interpolate toward the
+        # exact observed maximum.
+        if self.overflow:
+            fraction = (rank - cumulative) / self.overflow
+            lower = max(self.bounds[-1], self.min)
+            value = lower + fraction * (self.max - lower)
+            return min(max(value, self.min), self.max)
+        return self.max
 
     @property
     def p50(self) -> float:
@@ -187,6 +210,10 @@ class Histogram:
     @property
     def p99(self) -> float:
         return self.percentile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(0.999)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -200,6 +227,7 @@ class Histogram:
             "max": self.max,
             "p50": self.p50,
             "p99": self.p99,
+            "p999": self.p999,
             "bounds": list(self.bounds),
             "buckets": list(self.buckets),
             "overflow": self.overflow,

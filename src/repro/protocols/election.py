@@ -281,6 +281,39 @@ class ControllerCluster:
         """Canonical leadership history for determinism comparisons."""
         return tuple(self.leader_log)
 
+    def leaderless_intervals(
+        self, until: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Windows ``[(start, end)]`` during which no replica acted as
+        leader, derived from ``leader_log``.
+
+        A window opens when the acting leader crashes, is deposed, or
+        loses management connectivity, and closes at the next
+        activation.  A window still open at the end of the log closes
+        at ``until`` (default: the current sim time).  Critical-path
+        attribution charges writer retry waits that overlap these
+        windows to the ``leaderless_window`` cause: reconfiguration
+        commands cannot be issued while nobody holds the lease.
+        """
+        horizon = self.sim.now if until is None else until
+        intervals: List[Tuple[float, float]] = []
+        leader_id: Optional[int] = None
+        open_at: Optional[float] = None
+        for now, kind, replica_id, detail in self.leader_log:
+            if kind == "activate":
+                if open_at is not None and now > open_at:
+                    intervals.append((open_at, now))
+                open_at = None
+                leader_id = replica_id
+            elif leader_id is not None and replica_id == leader_id:
+                if kind == "depose" or (kind == "crash" and detail == "leader") or kind == "partition":
+                    if open_at is None:
+                        open_at = now
+                    leader_id = None
+        if open_at is not None and horizon > open_at:
+            intervals.append((open_at, horizon))
+        return intervals
+
     # ------------------------------------------------------------------
     # Chaos hooks: controller crash / restore / management partition
     # ------------------------------------------------------------------

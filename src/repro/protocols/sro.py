@@ -300,6 +300,10 @@ class SroEngine:
         # and chain applies feed it; passive and digest-neutral.
         self._accessprof = manager.deployment.access_profiler
         self._accessprof_on = self._accessprof.enabled
+        # Live SLO monitor (repro.obs.slo): commit latencies and write
+        # outcomes feed it; passive and digest-neutral.
+        self._slo = manager.deployment.slo_monitor
+        self._slo_on = self._slo.enabled
         self._m_outstanding = metrics.gauge("sro.outstanding_writes", self.switch.name)
         self._m_pending = metrics.gauge("sro.pending_bits", self.switch.name)
         self._m_commit_latency = metrics.histogram(
@@ -692,6 +696,8 @@ class SroEngine:
         request = outstanding.request
         state = self.groups[request.group]
         state.stats.writes_failed += 1
+        if self._slo_on:
+            self._slo.observe_event("sro.write", False, self.sim.now)
         self._outstanding.pop(request.token, None)
         if self._metrics_on:
             self._m_outstanding.set(len(self._outstanding))
@@ -1099,6 +1105,9 @@ class SroEngine:
             )
         if self._metrics_on:
             self._m_commit_latency.observe(latency)
+        if self._slo_on:
+            self._slo.observe("sro.write_commit", latency, self.sim.now)
+            self._slo.observe_event("sro.write", True, self.sim.now)
         self.manager.on_write_committed(state.spec, outstanding.request.key, ack)
         barrier = outstanding.barrier
         if barrier is None:

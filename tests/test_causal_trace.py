@@ -275,12 +275,15 @@ class TestControllerTracing:
 
 
 class TestDeterminismAndDigestNeutrality:
-    def _soak(self, seed, recorder):
+    def _soak(self, seed, recorder, slo_monitor=None):
+        from repro.obs.slo import NULL_SLO_MONITOR
+
         sim = Simulator()
         topo = Topology(sim, SeededRng(seed))
         nodes = build_full_mesh(topo, lambda n: PisaSwitch(n, sim), 3)
         dep = SwiShmemDeployment(
-            sim, topo, nodes, sync_period=1e-3, flight_recorder=recorder
+            sim, topo, nodes, sync_period=1e-3, flight_recorder=recorder,
+            slo_monitor=slo_monitor if slo_monitor is not None else NULL_SLO_MONITOR,
         )
         sro = dep.declare(RegisterSpec("reg", Consistency.SRO, capacity=32))
         ctr = dep.declare(RegisterSpec("ctr", Consistency.EWO, ewo_mode=EwoMode.COUNTER))
@@ -321,6 +324,26 @@ class TestDeterminismAndDigestNeutrality:
         baseline = self._soak(11, NULL_FLIGHT_RECORDER)
         traced = self._soak(11, FlightRecorder())
         assert baseline == traced
+
+    def test_slo_monitor_does_not_perturb_the_simulation(self):
+        """Live SLO evaluation (plus critical-path span recording) is
+        digest-neutral: the instrumented replay matches the bare run
+        while the monitor demonstrably saw the traffic."""
+        from repro.obs.critpath import CriticalPathAnalyzer
+        from repro.obs.slo import SLOMonitor
+
+        baseline = self._soak(11, NULL_FLIGHT_RECORDER)
+        monitor = SLOMonitor()
+        monitor.add_objective("sro.write_commit p99 < 1s over 10ms windows")
+        monitor.add_objective("sro.write availability >= 0.5 over 10ms windows")
+        recorder = FlightRecorder()
+        instrumented = self._soak(11, recorder, slo_monitor=monitor)
+        assert baseline == instrumented
+        assert monitor.samples > 0
+        # and the same spans decompose into an honest attribution
+        report = CriticalPathAnalyzer(recorder).report()
+        assert report.writes
+        assert report.fraction_sum_error_max <= 1e-9
 
 
 class TestPostMortem:

@@ -56,6 +56,25 @@ class TestDiff:
         assert tol("results[0].leaderless_window", check_bench.DEFAULT_TOLERANCES) == 1e-2
         assert tol("results[0].commits", check_bench.DEFAULT_TOLERANCES) == 0.0
 
+    def test_percentile_band_class(self):
+        """Percentile leaves get the interpolation band; attribution
+        fractions stay exact even when their path mentions latency."""
+        tol = check_bench.tolerance_for
+        tolerances = check_bench.DEFAULT_TOLERANCES
+        assert tol("metrics.histograms[0].p999", tolerances) == 1e-2
+        assert tol("results[0].latency_us.p99", tolerances) == 1e-2
+        assert tol("results[0].causes[2].fraction", tolerances) == 0.0
+        assert tol("results[0].latency_fraction", tolerances) == 0.0
+        assert tol("results[0].tail.causes[0].share", tolerances) == 0.0
+        assert tol("results[0].fraction_sum_error_max", tolerances) == 0.0
+
+    def test_fraction_drift_is_a_mismatch(self):
+        base = {"results": [{"causes": [{"fraction": 0.5}], "p99": 1.0}]}
+        fresh = {"results": [{"causes": [{"fraction": 0.5000001}], "p99": 1.005}]}
+        mismatches = _diff(base, fresh)
+        assert len(mismatches) == 1
+        assert "fraction" in mismatches[0].path
+
 
 class TestMain:
     def _write(self, directory, payload):

@@ -153,6 +153,47 @@ class TestViolationsCaught:
         violations = self._lint_source(tmp_path, "import time\ntime.time()\n")
         assert violations == []
 
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "d = {}\ntotal = sum(d.values())\n",
+            "d = {}\ntotal = sum(v for v in d.values())\n",
+            "d = {}\ntotal = sum(c for k, c in d.items())\n",
+            "d = {}\ntotal = sum([v * 2 for v in d.values()])\n",
+            "d = {}\ntotal = sum(c for k, c in d.items() if k != 'x')\n",
+        ],
+    )
+    def test_sum_over_unordered_dict_in_obs_flagged(self, tmp_path, source):
+        violations = self._lint_obs_source(tmp_path, source)
+        assert len(violations) == 1
+        assert "unordered dict iteration" in violations[0][2]
+        assert "sorted" in violations[0][2]
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # sorted(...) pins the accumulation order — sanctioned
+            "d = {}\ntotal = sum(sorted(d.values()))\n",
+            "d = {}\ntotal = sum(c for k, c in sorted(d.items()))\n",
+            # lists/tuples iterate in a fixed order already
+            "xs = []\ntotal = sum(xs)\n",
+            "xs = []\ntotal = sum(x * 2 for x in xs)\n",
+            # non-sum consumers of dict views are out of scope
+            "d = {}\ntotal = max(d.values(), default=0)\n",
+            # a method merely named sum on another object is not sum()
+            "class C:\n    def sum(self, xs):\n        return 0\n"
+            "d = {}\nC().sum(d.values())\n",
+        ],
+    )
+    def test_ordered_or_non_dict_sum_in_obs_allowed(self, tmp_path, source):
+        assert self._lint_obs_source(tmp_path, source) == []
+
+    def test_sum_over_dict_outside_obs_not_flagged(self, tmp_path):
+        """Scoped like the wall-clock rule: only obs feeds committed
+        sidecars that compare float aggregates exactly."""
+        violations = self._lint_source(tmp_path, "d = {}\ntotal = sum(d.values())\n")
+        assert violations == []
+
     def test_exempt_module_skipped(self):
         exempt = os.path.join(REPO_ROOT, "src", lint.EXEMPT_SUFFIX)
         assert os.path.exists(exempt)

@@ -56,10 +56,16 @@ class TestInstruments:
         assert (h.min, h.max) == (0.5, 9.0)
         assert h.buckets == [1, 2, 1]
         assert h.overflow == 1
-        # p50 reports the upper edge of the bucket holding the median;
-        # p99 lands in the overflow bucket and reports the observed max.
-        assert h.p50 == 2.0
-        assert h.p99 == 9.0
+        # p50 interpolates within the bucket holding the median: rank
+        # 2.5 is 0.75 of the way through the two samples in (1, 2].
+        assert h.p50 == pytest.approx(1.75)
+        # The first bucket's lower edge is the tracked minimum.
+        assert h.percentile(0.1) == pytest.approx(0.75)
+        # p99/p999 land in the overflow bucket and interpolate between
+        # the last bound and the observed maximum.
+        assert h.p99 == pytest.approx(8.8)
+        assert h.p999 == pytest.approx(8.98)
+        assert h.percentile(1.0) == 9.0
         assert h.mean == pytest.approx(16.8 / 5)
 
     def test_histogram_empty_percentile_is_zero(self):

@@ -39,6 +39,14 @@ DEFAULT_TOLERANCES: List[Tuple[str, float]] = [
     # Host wall-clock (and rates derived from it, e.g. S1's
     # events_per_host_sec) can legitimately differ run to run; ignore it.
     (r"wall_clock|host_seconds|per_host_sec", math.inf),
+    # Percentile-band class: attribution fractions/shares are exact
+    # (deterministic telescoping splits, gated at 0), while percentile
+    # leaves (.p50/.p99/.p999) sit on histogram interpolation and get
+    # the standard 1% band.  The fraction rule must precede the
+    # percentile and timing rules so e.g. a "latency_fraction" leaf
+    # stays exact-gated.
+    (r"fraction|share", 0.0),
+    (r"\.p\d+", 1e-2),
     # Simulated timing aggregates: deterministic, but float summation
     # order can differ across Python point releases — allow 1%.
     (r"latency|seconds|window|gap|duration|_ms\b|busy", 1e-2),

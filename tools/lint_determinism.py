@@ -32,6 +32,14 @@ This lint walks the AST of every Python file and flags:
   profiler's host-cost clock, measuring the harness rather than the
   simulation.
 
+* also inside ``src/repro/obs/`` only: float accumulation via ``sum()``
+  over unordered dict iteration — ``sum(d.values())``,
+  ``sum(v for v in d.values())``, ``sum(c for k, c in d.items())``.
+  Float addition is not associative, so the result depends on dict
+  iteration order; committed sidecars compare these values exactly
+  across interpreter builds.  Wrapping the iterable in ``sorted(...)``
+  pins the order and is the sanctioned escape hatch.
+
 ``src/repro/sim/random.py`` is exempt: it is the module that wraps the
 stdlib generator behind :class:`SeededRng`, the seam everything else
 must go through.
@@ -77,6 +85,8 @@ Violation = Tuple[str, int, str]
 class _RandomUseVisitor(ast.NodeVisitor):
     def __init__(self, path: str, check_wallclock: bool = False) -> None:
         self.path = path
+        # One flag gates both obs-scope checks: wall-clock reads and
+        # float sums over unordered dict iteration.
         self.check_wallclock = check_wallclock
         self.aliases: set = set()
         self.sys_aliases: set = set()
@@ -122,7 +132,49 @@ class _RandomUseVisitor(ast.NodeVisitor):
                     f"derive the path from __file__ instead "
                     f"(see benchmarks/common.py)",
                 ))
+        if self.check_wallclock:
+            self._check_unordered_sum(node)
         self.generic_visit(node)
+
+    @staticmethod
+    def _unordered_dict_iter(expr: ast.expr) -> str:
+        """Return ``values``/``items`` when ``expr`` is a bare
+        ``X.values()`` / ``X.items()`` call, else an empty string."""
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("values", "items")
+            and not expr.args
+            and not expr.keywords
+        ):
+            return expr.func.attr
+        return ""
+
+    def _check_unordered_sum(self, node: ast.Call) -> None:
+        """Flag ``sum()`` whose iterable walks a dict in hash order.
+
+        Float addition is order-sensitive; committed sidecars compare
+        these aggregates exactly.  ``sorted(...)`` around the iterable
+        pins the order and escapes the lint.
+        """
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum" and node.args):
+            return
+        arg = node.args[0]
+        method = self._unordered_dict_iter(arg)
+        if not method and isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for comp in arg.generators:
+                method = self._unordered_dict_iter(comp.iter)
+                if method:
+                    break
+        if method:
+            self.violations.append((
+                self.path,
+                node.lineno,
+                f"sum() over unordered dict iteration (.{method}()) "
+                f"inside the observability layer; float accumulation "
+                f"order must be pinned — wrap the iterable in "
+                f"sorted(...)",
+            ))
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random" and node.level == 0:
