@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples chaos scrub advisor critpath all clean
+.PHONY: install test bench tables examples chaos scrub advisor critpath relevel all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -42,6 +42,11 @@ advisor:
 # p99 is slow, cause by cause, with a digest-neutrality replay check.
 critpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_critpath_tails.py
+
+# Runtime re-leveling handoff (experiment T4): advisor-driven SRO→EWO
+# demotion on the live deployment, under nemesis + leader kill.
+relevel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_releveling.py
 
 # The two artifacts EXPERIMENTS.md points reviewers at.
 all:

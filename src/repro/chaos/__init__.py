@@ -14,7 +14,9 @@ every chaos run is reproducible from its seed:
   :class:`~repro.protocols.antientropy.DivergenceEvent` for the
   anti-entropy scrubber to detect and heal.
 * :mod:`repro.chaos.nemesis` — :class:`Nemesis`: a channel wrapper that
-  duplicates and delays (hence reorders) in-flight SwiShmem packets.
+  duplicates and delays (hence reorders) in-flight SwiShmem packets;
+  :class:`LeaderKiller`: crashes the controller leader mid-phase of a
+  runtime re-level to exercise the takeover-resume path.
 * :mod:`repro.chaos.invariants` — :class:`InvariantSuite`: continuous
   monitors asserting no-committed-write-lost, CRDT counter
   monotonicity, chain/multicast configuration consistency, and — once
@@ -23,13 +25,14 @@ every chaos run is reproducible from its seed:
 
 from repro.chaos.faults import FaultInjector, FaultRecord
 from repro.chaos.invariants import InvariantReport, InvariantSuite, Violation
-from repro.chaos.nemesis import Nemesis
+from repro.chaos.nemesis import LeaderKiller, Nemesis
 
 __all__ = [
     "FaultInjector",
     "FaultRecord",
     "InvariantReport",
     "InvariantSuite",
+    "LeaderKiller",
     "Nemesis",
     "Violation",
 ]

@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import Packet
     from repro.net.topology import Topology
 
-__all__ = ["Nemesis"]
+__all__ = ["LeaderKiller", "Nemesis"]
 
 
 class Nemesis:
@@ -119,3 +119,53 @@ class Nemesis:
             "packets_duplicated": self.packets_duplicated,
             "packets_delayed": self.packets_delayed,
         }
+
+
+class LeaderKiller:
+    """Control-plane nemesis: crash the controller leader at the worst
+    moment of a runtime re-level.
+
+    Registers on ``deployment.releveler.phase_listeners`` and, when a
+    handoff reaches the targeted phase (default ``"drain"`` — the window
+    where fences are installed but the engine swap has not happened),
+    crashes the replica that is currently the active leader.  The
+    handoff must then stall until a successor finishes reconstruction
+    and resumes it from persisted coordinator state — exactly the
+    takeover path ``RelevelingCoordinator.on_leader_ready`` exists for.
+
+    Deterministic by construction: the kill is a pure function of the
+    handoff sequence (no randomness), so same-seed runs replay
+    byte-identically.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        phase: str = "drain",
+        kills: int = 1,
+        groups: Tuple[int, ...] = (),
+    ) -> None:
+        self.deployment = deployment
+        self.phase = phase
+        self.kills_remaining = kills
+        self.groups = frozenset(groups)
+        #: (sim time, replica_id, group_id) per kill, for assertions.
+        self.log: list = []
+        deployment.releveler.phase_listeners.append(self._on_phase)
+
+    def _on_phase(self, phase: str, handoff) -> None:
+        if self.kills_remaining <= 0 or phase != self.phase:
+            return
+        if self.groups and handoff.group_id not in self.groups:
+            return
+        leader = self.deployment.controller.active_leader()
+        if leader is None:
+            return
+        self.kills_remaining -= 1
+        self.log.append((self.deployment.sim.now, leader.replica_id, handoff.group_id))
+        self.deployment.controller.crash_replica(leader.replica_id)
+
+    def uninstall(self) -> None:
+        listeners = self.deployment.releveler.phase_listeners
+        if self._on_phase in listeners:
+            listeners.remove(self._on_phase)

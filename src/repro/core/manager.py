@@ -25,7 +25,7 @@ which is the entire point.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.analysis.history import HistoryRecorder
@@ -126,6 +126,24 @@ class PacketContext:
         return bool(self.packet.meta.get("at_tail_groups"))
 
 
+@dataclass
+class _RelevelFence:
+    """Write fence for one group during a re-level handoff.
+
+    While installed, new writes land in the ``overlay`` (a write-through
+    cache applied to the target engine at unfence) instead of the
+    protocol engines, so the drained state stays frozen across the
+    switch.  Reads consult the overlay first — a writer observes its own
+    fenced writes.  Only overwrite-semantics (LWW) groups are
+    re-levelable, so last-write-wins replay of the overlay is exact.
+    """
+
+    group_id: int
+    epoch: int
+    overlay: Dict[Any, Any] = dataclass_field(default_factory=dict)
+    writes_fenced: int = 0
+
+
 class SwiShmemManager:
     """Per-switch SwiShmem runtime."""
 
@@ -149,15 +167,18 @@ class SwiShmemManager:
         #: Member-side anti-entropy agent: digest trees over this
         #: switch's register groups plus repair application.
         self.scrub = ScrubAgent(self)
-        metrics = deployment.metrics
-        self._metrics_on = metrics.enabled
-        self._m_reads = metrics.counter("state.reads", switch.name)
-        self._m_writes = metrics.counter("state.writes", switch.name)
-        # Access-pattern profiler (repro.obs.accessprof): like metrics,
-        # cached with its enabled flag at construction; all hooks are
-        # passive (profiler-internal state only, digest-neutral).
-        self._accessprof = deployment.access_profiler
-        self._accessprof_on = self._accessprof.enabled
+        self._bind_observability()
+        #: Live consistency level per group on this switch.  Seeded by
+        #: ``add_group`` and rewritten by ``relevel_switch`` commands;
+        #: every per-access branch on consistency goes through
+        #: ``level_of`` so a re-level takes effect mid-run.  This is
+        #: deliberately per-manager (not read off the shared spec): the
+        #: spec mutates once on the leader while switch commands land at
+        #: different times per switch, and each switch must keep routing
+        #: to the engine it actually has installed.
+        self._levels: Dict[int, Consistency] = {}
+        #: Active re-level write fences by group id.
+        self._relevel_fences: Dict[int, _RelevelFence] = {}
         self._handles: Dict[int, RegisterHandle] = {}
         self._sync_generators: Dict[int, PacketGenerator] = {}
         self._ctx: Optional[PacketContext] = None
@@ -168,6 +189,19 @@ class SwiShmemManager:
         self.controller_epoch = 0
         self.fenced_commands = 0
         switch.install_handler(self._protocol_handler, front=True)
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks (construction
+        and ``Deployment.rebind_observability``)."""
+        metrics = self.deployment.metrics
+        self._metrics_on = metrics.enabled
+        self._m_reads = metrics.counter("state.reads", self.switch.name)
+        self._m_writes = metrics.counter("state.writes", self.switch.name)
+        # Access-pattern profiler (repro.obs.accessprof): like metrics,
+        # cached with its enabled flag; all hooks are passive
+        # (profiler-internal state only, digest-neutral).
+        self._accessprof = self.deployment.access_profiler
+        self._accessprof_on = self._accessprof.enabled
 
     # ------------------------------------------------------------------
     # Replication traffic dispatch
@@ -262,6 +296,12 @@ class SwiShmemManager:
             self.sro.set_chain(command.group, command.payload)
         elif command.kind == "set_catching_up":
             self.sro.set_catching_up(command.group, bool(command.payload))
+        elif command.kind == "relevel_fence":
+            self._apply_relevel_fence(command)
+        elif command.kind == "relevel_switch":
+            self._apply_relevel_switch(command)
+        elif command.kind == "relevel_unfence":
+            self._apply_relevel_unfence(command)
         else:
             raise ValueError(f"unknown controller command kind {command.kind!r}")
         if flightrec.enabled and ctx is not None:
@@ -277,20 +317,100 @@ class SwiShmemManager:
         return True
 
     # ------------------------------------------------------------------
+    # Runtime re-leveling (repro.protocols.releveling)
+    # ------------------------------------------------------------------
+    def level_of(self, spec: RegisterSpec) -> Consistency:
+        """The group's *live* consistency level on this switch.
+
+        Never branch a register access on ``spec.consistency`` directly:
+        the spec is shared and rewritten once by the re-leveling leader,
+        while the engine switch lands per-switch via ``relevel_switch``
+        commands.  This map tracks what this switch actually installed.
+        """
+        return self._levels.get(spec.group_id, spec.consistency)
+
+    def relevel_fence_for(self, group_id: int) -> Optional[_RelevelFence]:
+        return self._relevel_fences.get(group_id)
+
+    def _apply_relevel_fence(self, command: Any) -> None:
+        """Phase 1 (drain): stop feeding the engines new writes.
+
+        Idempotent — a takeover leader resumes by re-sending fences.  An
+        EWO source additionally flushes queued local entries so the
+        drain settle window covers everything this replica produced.
+        """
+        group_id = command.group
+        if group_id in self._relevel_fences:
+            return
+        self._relevel_fences[group_id] = _RelevelFence(
+            group_id=group_id, epoch=command.epoch
+        )
+        spec = self.deployment.specs[group_id]
+        if self.level_of(spec) is Consistency.EWO and group_id in self.ewo.groups:
+            self.ewo.flush(group_id)
+
+    def _apply_relevel_switch(self, command: Any) -> None:
+        """Phase 2 (switch): tear down the old engine, install and seed
+        the new one.  Idempotent per-switch via the live-level guard, so
+        a takeover leader can blindly re-send it."""
+        group_id = command.group
+        payload = command.payload
+        spec = self.deployment.specs[group_id]
+        target = Consistency(payload["target"])
+        current = self.level_of(spec)
+        if current is target:
+            return
+        if target is Consistency.EWO:
+            # Demotion: chain replica -> broadcast replica, seeded with
+            # the drained head snapshot under one controller stamp.
+            self.sro.remove_group(group_id)
+            members = list(payload["members"])
+            if self.switch.name in members:
+                self.ewo.add_group(spec, members, self.clock)
+                self.ewo.seed_group(group_id, payload["seed"], payload["stamp"])
+                self._start_ewo_sync(group_id)
+        elif current is Consistency.EWO:
+            # Promotion: broadcast replica -> chain replica, seeded with
+            # the merged LWW state.  Seed seqs are assigned per slot in
+            # sorted-key order, so every member lands identical
+            # (store, applied_seq) state.
+            self._stop_ewo_sync(group_id)
+            self.ewo.remove_group(group_id)
+            state = self.sro.add_group(spec, payload["chain"])
+            state.track_pending = target is Consistency.SRO
+            seq_by_slot: Dict[int, int] = {}
+            for key, value in payload["seed"]:
+                slot = state.pending.slot_of(key)
+                seq = seq_by_slot.get(slot, 0) + 1
+                seq_by_slot[slot] = seq
+                self.sro.apply_snapshot_write(key, value, slot, seq, group_id)
+        else:
+            # SRO <-> ERO: same chain engine, flip pending-bit tracking.
+            self.sro.set_track_pending(group_id, target is Consistency.SRO)
+        self._levels[group_id] = target
+
+    def _apply_relevel_unfence(self, command: Any) -> None:
+        """Phase 3 (unfence): release writes under the new level.
+
+        Fenced writes replay through the normal write path in sorted-key
+        order; the groups eligible for re-leveling have overwrite (LWW)
+        semantics, so replaying each key's last fenced value is exact.
+        """
+        fence = self._relevel_fences.pop(command.group, None)
+        if fence is None:
+            return
+        spec = self.deployment.specs[command.group]
+        for key in sorted(fence.overlay, key=repr):
+            self.register_write(spec, key, fence.overlay[key])
+
+    # ------------------------------------------------------------------
     # Register group plumbing (called by the deployment)
     # ------------------------------------------------------------------
     def add_group(self, spec: RegisterSpec, chain: Optional[ChainDescriptor], members: List[str]) -> None:
+        self._levels[spec.group_id] = spec.consistency
         if spec.consistency is Consistency.EWO:
             self.ewo.add_group(spec, members, self.clock)
-            generator = PacketGenerator(
-                self.switch,
-                period=self.deployment.sync_period,
-                body=lambda gid=spec.group_id: self.ewo.sync_tick(gid),
-                name=f"ewo-sync:{spec.name}",
-                phase=self.deployment.sync_phase(self.switch.name, spec.group_id),
-            )
-            generator.start()
-            self._sync_generators[spec.group_id] = generator
+            self._start_ewo_sync(spec.group_id)
         else:
             assert chain is not None
             self.sro.add_group(spec, chain)
@@ -299,12 +419,8 @@ class SwiShmemManager:
     def handle(self, spec: RegisterSpec) -> RegisterHandle:
         return self._handles[spec.group_id]
 
-    def restart_ewo_sync(self, group_id: int) -> None:
-        """Restart the periodic sync generator after a recovery.
-
-        The old generator self-stopped when the switch failed; a fresh
-        one is created with a newly staggered phase.
-        """
+    def _start_ewo_sync(self, group_id: int) -> None:
+        """Start (or replace) the periodic EWO sync generator."""
         old = self._sync_generators.pop(group_id, None)
         if old is not None:
             old.stop()
@@ -318,6 +434,19 @@ class SwiShmemManager:
         )
         generator.start()
         self._sync_generators[group_id] = generator
+
+    def _stop_ewo_sync(self, group_id: int) -> None:
+        generator = self._sync_generators.pop(group_id, None)
+        if generator is not None:
+            generator.stop()
+
+    def restart_ewo_sync(self, group_id: int) -> None:
+        """Restart the periodic sync generator after a recovery.
+
+        The old generator self-stopped when the switch failed; a fresh
+        one is created with a newly staggered phase.
+        """
+        self._start_ewo_sync(group_id)
 
     # ------------------------------------------------------------------
     # NF installation
@@ -411,8 +540,12 @@ class SwiShmemManager:
         self._note_state_op(self._m_reads)
         if self._accessprof_on:
             self._accessprof.on_read(spec.group_id, key, self.switch.name, self.sim.now)
+        fence = self._relevel_fences.get(spec.group_id)
+        if fence is not None and key in fence.overlay:
+            # Mid-handoff: the writer sees its own fenced writes.
+            return fence.overlay[key]
         packet = self._ctx.packet if self._ctx is not None else None
-        if spec.consistency is Consistency.EWO:
+        if self.level_of(spec) is Consistency.EWO:
             value = self.ewo.read(spec, key, default)
         else:
             value = self.sro.read(spec, key, default, packet)
@@ -425,7 +558,15 @@ class SwiShmemManager:
 
     def register_write(self, spec: RegisterSpec, key: Any, value: Any) -> None:
         self._note_state_op(self._m_writes)
-        if spec.consistency is Consistency.EWO:
+        fence = self._relevel_fences.get(spec.group_id)
+        if fence is not None:
+            # Mid-handoff: park the write in the fence overlay; it
+            # replays through this path at unfence, under the new level
+            # (which also records it into the history then).
+            fence.overlay[key] = value
+            fence.writes_fenced += 1
+            return
+        if self.level_of(spec) is Consistency.EWO:
             self.ewo.write(spec, key, value)
             history = self.deployment.history
             if history is not None:
@@ -450,11 +591,24 @@ class SwiShmemManager:
         from repro.core.registers import FetchAdd
 
         self._note_state_op(self._m_writes)
-        if spec.consistency is Consistency.EWO:
+        if self.level_of(spec) is Consistency.EWO:
             raise TypeError(
                 f"fetch_add targets strong registers; use increment() on the "
                 f"EWO group {spec.name!r}"
             )
+        fence = self._relevel_fences.get(spec.group_id)
+        if fence is not None:
+            # Mid-handoff fetch-add folds into the overlay (no
+            # on_release result during the fence window; the fenced sum
+            # replays as one overwrite at unfence).
+            if key in fence.overlay:
+                base = fence.overlay[key]
+            else:
+                state = self.sro.groups.get(spec.group_id)
+                base = state.store.get(key, spec.default) if state is not None else spec.default
+            fence.overlay[key] = (base or 0) + amount
+            fence.writes_fenced += 1
+            return
         if self._ctx is None:
             self.sro.initiate_writes(
                 [(spec, key, FetchAdd(amount))], None, None, origin="control"
@@ -464,7 +618,7 @@ class SwiShmemManager:
 
     def register_increment(self, spec: RegisterSpec, key: Any, amount: int) -> int:
         self._note_state_op(self._m_writes)
-        if spec.consistency is not Consistency.EWO:
+        if self.level_of(spec) is not Consistency.EWO:
             raise TypeError(
                 f"increment() requires an EWO counter group; {spec.name!r} is "
                 f"{spec.consistency.value} (strong registers have overwrite semantics)"
@@ -506,9 +660,16 @@ class SwiShmemManager:
             self._accessprof.on_read(
                 spec.group_id, key, self.switch.name, self.sim.now, peek=True
             )
-        if spec.consistency is Consistency.EWO:
+        fence = self._relevel_fences.get(spec.group_id)
+        if fence is not None and key in fence.overlay:
+            return fence.overlay[key]
+        if self.level_of(spec) is Consistency.EWO:
             return self.ewo.read(spec, key, default)
-        state = self.sro.groups[spec.group_id]
+        state = self.sro.groups.get(spec.group_id)
+        if state is None:
+            # Mid-switch window: the chain engine is already torn down
+            # here but the broadcast engine's command hasn't landed yet.
+            return default if default is not None else spec.default
         return state.store.get(key, default if default is not None else spec.default)
 
     # ------------------------------------------------------------------
@@ -562,27 +723,16 @@ class SwiShmemDeployment:
         self.sync_period = sync_period
         self.clock_skew = clock_skew
         self.tracer = tracer
-        #: Live-telemetry registry (repro.obs).  Must be set before the
-        #: managers are built: every engine binds its instruments at
-        #: construction time.  Switches and links were constructed by the
-        #: caller, so they are re-bound here.
-        self.metrics = metrics
-        #: Causal flight recorder (repro.obs.flightrec).  Like metrics,
-        #: it must be set before the managers are built: the engines
-        #: cache it (and its enabled flag) at construction.  Trace
-        #: *stamping* happens regardless — it is digest-neutral — only
-        #: span recording is gated on this.
-        self.flight_recorder = flight_recorder
-        #: Access-pattern profiler (repro.obs.accessprof).  Same rule as
-        #: metrics and the flight recorder: set before the managers are
-        #: built, because engines cache it (and its enabled flag) at
-        #: construction.
-        self.access_profiler = access_profiler
-        #: Live SLO monitor (repro.obs.slo).  Same rule again: set
-        #: before the managers are built, because engines cache it (and
-        #: its enabled flag) at construction.  Evaluation is lazy off
-        #: the sim clock the hooks carry — digest-neutral.
-        self.slo_monitor = slo_monitor
+        # Observability hooks (repro.obs).  Engines cache each hook and
+        # its enabled flag at construction, so these are exposed as
+        # read-only properties: assigning them after construction would
+        # be silently ignored by every engine.  Swapping hooks on a live
+        # deployment must go through :meth:`rebind_observability`, which
+        # re-binds every cached copy.
+        self._metrics = metrics
+        self._flight_recorder = flight_recorder
+        self._access_profiler = access_profiler
+        self._slo_monitor = slo_monitor
         self.address_book = address_book if address_book is not None else AddressBook()
         self.routing = RoutingTable(topo)
         self.multicast = MulticastRegistry()
@@ -647,6 +797,112 @@ class SwiShmemDeployment:
                 else DEFAULT_HEARTBEAT_TIMEOUT
             ),
         )
+        # Runtime consistency re-leveling.  Deployment-scoped (not
+        # per-controller-replica) so an in-progress handoff survives a
+        # leader takeover; only command *sending* is leader-gated.
+        from repro.protocols.releveling import RelevelingCoordinator
+
+        self.releveler = RelevelingCoordinator(self)
+
+    # ------------------------------------------------------------------
+    # Observability hooks (read-only; swap via rebind_observability)
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Live-telemetry registry (repro.obs)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: Any) -> None:
+        raise AttributeError(
+            "deployment.metrics is cached by every engine at construction; "
+            "late assignment would be silently ignored — use "
+            "deployment.rebind_observability(metrics=...) instead"
+        )
+
+    @property
+    def flight_recorder(self) -> FlightRecorder:
+        """Causal flight recorder (repro.obs.flightrec).  Trace
+        *stamping* happens regardless — it is digest-neutral — only span
+        recording is gated on this."""
+        return self._flight_recorder
+
+    @flight_recorder.setter
+    def flight_recorder(self, value: Any) -> None:
+        raise AttributeError(
+            "deployment.flight_recorder is cached by every engine at "
+            "construction; late assignment would be silently ignored — use "
+            "deployment.rebind_observability(flight_recorder=...) instead"
+        )
+
+    @property
+    def access_profiler(self) -> AccessProfiler:
+        """Access-pattern profiler (repro.obs.accessprof)."""
+        return self._access_profiler
+
+    @access_profiler.setter
+    def access_profiler(self, value: Any) -> None:
+        raise AttributeError(
+            "deployment.access_profiler is cached by every engine at "
+            "construction; late assignment would be silently ignored — use "
+            "deployment.rebind_observability(access_profiler=...) instead"
+        )
+
+    @property
+    def slo_monitor(self) -> SLOMonitor:
+        """Live SLO monitor (repro.obs.slo).  Evaluation is lazy off the
+        sim clock the hooks carry — digest-neutral."""
+        return self._slo_monitor
+
+    @slo_monitor.setter
+    def slo_monitor(self, value: Any) -> None:
+        raise AttributeError(
+            "deployment.slo_monitor is cached by every engine at "
+            "construction; late assignment would be silently ignored — use "
+            "deployment.rebind_observability(slo_monitor=...) instead"
+        )
+
+    def rebind_observability(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        flight_recorder: Optional[FlightRecorder] = None,
+        access_profiler: Optional[AccessProfiler] = None,
+        slo_monitor: Optional[SLOMonitor] = None,
+    ) -> None:
+        """Swap observability hooks on a live deployment.
+
+        Engines cache every hook (and its enabled flag) at construction
+        for hot-path cheapness; this is the one sanctioned way to attach
+        or replace a hook afterwards — it updates the deployment's
+        references and then re-binds every cached copy: switches, links,
+        managers, protocol engines, scrub agents, the scrub coordinator,
+        controller replicas, and the re-leveling coordinator.
+        """
+        if metrics is not None:
+            self._metrics = metrics
+            if metrics.enabled:
+                for switch in self.switches:
+                    switch.bind_metrics(metrics)
+                for link in self.topo.links:
+                    link.bind_metrics(metrics)
+        if flight_recorder is not None:
+            self._flight_recorder = flight_recorder
+        if access_profiler is not None:
+            self._access_profiler = access_profiler
+            if access_profiler.enabled:
+                for spec in self.specs.values():
+                    access_profiler.describe_group(spec)
+        if slo_monitor is not None:
+            self._slo_monitor = slo_monitor
+        for manager in self.managers.values():
+            manager._bind_observability()
+            manager.sro._bind_observability()
+            manager.ewo._bind_observability()
+            manager.scrub._bind_observability()
+        if self.scrubber is not None:
+            self.scrubber._bind_observability()
+        self.controller.rebind_observability()
+        self.releveler._bind_observability()
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -823,7 +1079,7 @@ class SwiShmemDeployment:
         for group_id, spec in sorted(self.specs.items()):
             per_switch = {}
             for name, manager in self.managers.items():
-                if spec.consistency is Consistency.EWO:
+                if manager.level_of(spec) is Consistency.EWO:
                     if group_id in manager.ewo.groups:
                         per_switch[name] = manager.ewo.stats_for(group_id).as_dict()
                 elif group_id in manager.sro.groups:

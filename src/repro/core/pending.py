@@ -115,6 +115,18 @@ class PendingTable:
     def pending_count(self) -> int:
         return sum(self._pending)
 
+    def clear_all(self) -> int:
+        """Drop every pending bit; returns how many were set.
+
+        Used when a group stops tracking pending bits (an SRO -> ERO
+        re-level): reads no longer forward on in-flight writes, so a
+        stale bit would only leak into ``pending_count`` reporting.
+        """
+        cleared = sum(self._pending)
+        for slot in range(self.slots):
+            self._pending[slot] = False
+        return cleared
+
     # ------------------------------------------------------------------
     @property
     def state_bytes(self) -> int:

@@ -71,6 +71,15 @@ class MulticastRegistry:
     def get(self, group_id: int) -> MulticastGroup:
         return self._groups[group_id]
 
+    def has(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def delete(self, group_id: int) -> None:
+        """Tear down a group (an EWO -> SRO re-level removes the
+        broadcast fan-out entirely).  Deleting twice is a no-op so a
+        resumed handoff can replay the step."""
+        self._groups.pop(group_id, None)
+
     def remove_member_everywhere(self, node_name: str) -> int:
         """Drop a failed switch from every group; returns groups touched."""
         touched = 0

@@ -427,6 +427,10 @@ class AccessProfiler:
             )
             self.groups[spec.group_id] = profile
             self._by_name[spec.name] = profile
+        else:
+            # Re-registration after a runtime re-level: the declared
+            # side of the advisor's comparison must track the new spec.
+            profile.declared = spec.consistency.value
         return profile
 
     def note_nf(self, group_id: int, nf_name: str) -> None:

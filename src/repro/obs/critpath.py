@@ -427,6 +427,11 @@ class CriticalPathAnalyzer:
             return segments
         if a.name == "sro.write.send" and b.name == "sro.write.send":
             return self._split_wait(a.time, b.time, src, dst, fence_times)
+        if a.name == "sro.chain.reorder_stash":
+            # Stash residency: the update sat waiting for its missing
+            # predecessor, whose re-propagation is gated by the same
+            # retry/leaderless machinery as a writer's own backoff.
+            return self._split_wait(a.time, b.time, src, dst, fence_times)
         if a.name == "sro.write.initiate":
             # Initiation -> first send: the control-plane punt plus CPU
             # queue residency ahead of it.

@@ -208,9 +208,13 @@ class SLOMonitor:
     """Deployment-wide, digest-neutral SLO evaluation in sim time.
 
     Pass one to :class:`~repro.core.manager.SwiShmemDeployment` via the
-    ``slo_monitor`` keyword *at construction* — engines cache it (and
-    its ``enabled`` flag) when they are built, exactly like the metrics
-    registry and the access profiler.
+    ``slo_monitor`` keyword at construction — engines cache it (and its
+    ``enabled`` flag) when they are built, exactly like the metrics
+    registry and the access profiler.  To attach one *after*
+    construction, call ``deployment.rebind_observability(slo_monitor=m)``,
+    which re-binds every engine's cached hooks; assigning to
+    ``deployment.slo_monitor`` directly raises, because the engines
+    would silently keep their stale cached references.
     """
 
     #: Hot paths cache this to skip the hook calls entirely when off.

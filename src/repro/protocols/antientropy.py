@@ -173,12 +173,17 @@ class ScrubAgent:
         self.repairs_applied = 0
         self.repairs_stale = 0
         self.repairs_fenced = 0
-        metrics = manager.deployment.metrics
+        self._bind_observability()
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks (called at
+        construction and again by ``Deployment.rebind_observability``)."""
+        metrics = self.manager.deployment.metrics
         self._metrics_on = metrics.enabled
         self._m_repairs = metrics.counter("scrub.repairs_applied", self.switch.name)
         self._m_fenced = metrics.counter("scrub.repairs_fenced", self.switch.name)
-        self._causal = manager.causal
-        self._flightrec = manager.deployment.flight_recorder
+        self._causal = self.manager.causal
+        self._flightrec = self.manager.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
 
     # ------------------------------------------------------------------
@@ -206,14 +211,23 @@ class ScrubAgent:
         is transient and absorbed by the confirm-rounds requirement.
         """
         spec = self.manager.deployment.specs[group_id]
-        if spec.consistency is not Consistency.EWO:
-            state = self.manager.sro.groups[group_id]
+        # Branch on this member's *live* level, not the (possibly
+        # rewritten-mid-handoff) spec: a scrub stage can overlap a
+        # runtime re-level, and an engine this member no longer runs
+        # simply digests as empty — the stage-finish fence aborts the
+        # round anyway.
+        if self.manager.level_of(spec) is not Consistency.EWO:
+            state = self.manager.sro.groups.get(group_id)
+            if state is None:
+                return []
             pending = state.pending
             return [
                 (key, (value, pending.applied_seq(pending.slot_of(key))))
                 for key, value in state.store.items()
             ]
-        ewo = self.manager.ewo.groups[group_id]
+        ewo = self.manager.ewo.groups.get(group_id)
+        if ewo is None:
+            return []
         if spec.ewo_mode is EwoMode.COUNTER:
             return [(key, tuple(vector)) for key, vector in ewo.vectors.items()]
         if spec.ewo_mode is EwoMode.ORSET:
@@ -375,7 +389,12 @@ class ScrubCoordinator:
         for manager in deployment.managers.values():
             manager.scrub.buckets = buckets
         self._causal = CausalClock("scrub")
-        metrics = deployment.metrics
+        self._bind_observability()
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks (called at
+        construction and again by ``Deployment.rebind_observability``)."""
+        metrics = self.deployment.metrics
         self._metrics_on = metrics.enabled
         self._m_rounds = metrics.counter("scrub.rounds", "scrub")
         self._m_diverged = metrics.counter("scrub.rounds_diverged", "scrub")
@@ -386,7 +405,7 @@ class ScrubCoordinator:
             "scrub.detect_latency_seconds", "scrub"
         )
         self._m_heal_latency = metrics.histogram("scrub.heal_latency_seconds", "scrub")
-        self._flightrec = deployment.flight_recorder
+        self._flightrec = self.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
 
     # ------------------------------------------------------------------
@@ -423,15 +442,28 @@ class ScrubCoordinator:
         spec = self.deployment.specs[group_id]
         if spec.partial_replication and self.deployment.directory is not None:
             return  # members legitimately hold different key subsets
+        if self.deployment.releveler.active_handoff(group_id) is not None:
+            # Mid-re-level the group's engines are draining or being
+            # swapped; replicas legitimately disagree.  Skip the round —
+            # the first post-handoff round scrubs the new engine.
+            self.stats.rounds_skipped += 1
+            self._extend_deadlines(group_id)
+            return
         managers = self.deployment.managers
         sro = spec.consistency is not Consistency.EWO
         if sro:
-            chain = self.deployment.chains[group_id]
+            chain = self.deployment.chains.get(group_id)
+            if chain is None:
+                self.stats.rounds_skipped += 1
+                return  # chain retired by a re-level between checks
             chain_version = chain.version
             members = tuple(
                 m for m in chain.members if not managers[m].switch.failed
             )
         else:
+            if not self.deployment.multicast.has(group_id):
+                self.stats.rounds_skipped += 1
+                return  # fan-out deleted by a re-level between checks
             chain_version = 0
             members = tuple(
                 sorted(
@@ -977,8 +1009,12 @@ class ScrubCoordinator:
         if leader is None or leader.epoch != round_.epoch:
             return False
         if round_.sro:
-            if self.deployment.chains[round_.group_id].version != round_.chain_version:
+            chain = self.deployment.chains.get(round_.group_id)
+            if chain is None or chain.version != round_.chain_version:
+                # Chain gone (demoted to EWO mid-round) or reconfigured.
                 return False
+        elif not self.deployment.multicast.has(round_.group_id):
+            return False  # fan-out gone (promoted to SRO mid-round)
         for member in round_.members:
             if self.deployment.managers[member].switch.failed:
                 return False

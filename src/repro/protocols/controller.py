@@ -218,18 +218,8 @@ class CentralController:
         # is the root span of the current reign, set on activation.
         self.node = f"ctl{replica_id}"
         self.causal = CausalClock(self.node)
-        self._flightrec = self.deployment.flight_recorder
         self.trace_ctx: Any = None
-        metrics = self.deployment.metrics
-        self._m_heartbeats = metrics.counter("controller.heartbeats", "controller")
-        self._m_failures = metrics.counter("controller.failures_detected", "controller")
-        self._m_false_positives = metrics.counter(
-            "controller.false_positives", "controller"
-        )
-        self._m_recoveries = metrics.counter("controller.recoveries", "controller")
-        self._m_detection_latency = metrics.histogram(
-            "controller.detection_latency_seconds", "controller"
-        )
+        self._bind_observability()
         period = (
             self.heartbeat_period / 4
             if self.detection == "heartbeat"
@@ -241,6 +231,21 @@ class CentralController:
             self._tick,
             name=f"controller:replica-{replica_id}",
         ).start()
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks (construction
+        and ``Deployment.rebind_observability``)."""
+        self._flightrec = self.deployment.flight_recorder
+        metrics = self.deployment.metrics
+        self._m_heartbeats = metrics.counter("controller.heartbeats", "controller")
+        self._m_failures = metrics.counter("controller.failures_detected", "controller")
+        self._m_false_positives = metrics.counter(
+            "controller.false_positives", "controller"
+        )
+        self._m_recoveries = metrics.counter("controller.recoveries", "controller")
+        self._m_detection_latency = metrics.histogram(
+            "controller.detection_latency_seconds", "controller"
+        )
 
     # ------------------------------------------------------------------
     # Leadership
@@ -545,6 +550,10 @@ class CentralController:
             ) or any(
                 name not in deployment.multicast.get(gid).members
                 for gid in manager.ewo.groups
+                # A re-level promotion deletes the group's multicast
+                # fan-out; a switch still holding EWO state for it is
+                # stale, not excised — reconciliation handles it.
+                if deployment.multicast.has(gid)
             )
             if excised:
                 self._readmit(name)
@@ -606,6 +615,10 @@ class CentralController:
                     )
         self.cluster.note_reconstruction(self, now - self._reconstruct_started)
         self.cluster.drain_pending_recoveries(self)
+        # Resume (or roll back) any re-level handoff the dead leader
+        # left mid-flight, then drain re-level requests queued while the
+        # deployment was leaderless.
+        deployment.releveler.on_leader_ready(self)
 
     # ------------------------------------------------------------------
     # Failure detection
@@ -835,14 +848,21 @@ class CentralController:
         if self.detection == "heartbeat":
             self.cluster.restart_heartbeat_for(name)
         # EWO: rejoin multicast groups and restart the sync generators.
+        # Groups whose multicast was deleted by a re-level promotion are
+        # skipped here; reconciliation below re-levels the stale engine.
         rejoined = False
         for group_id, state in manager.ewo.groups.items():
+            if not self.deployment.multicast.has(group_id):
+                continue
             self.deployment.multicast.get(group_id).add(name)
             manager.restart_ewo_sync(group_id)
             rejoined = True
         if rejoined:
             event.ewo_rejoined_at = self.sim.now
         self._rejoin_chains(name, event, wiped=wipe_state)
+        # A switch that was down across a re-level still runs the old
+        # engine for the group; re-send it the switch step.
+        self.deployment.releveler.reconcile_recovery(self, manager)
         return event
 
     def _readmit(self, name: str) -> None:
@@ -877,6 +897,10 @@ class CentralController:
         manager = self.deployment.manager(name)
         rejoined = False
         for group_id in manager.ewo.groups:
+            if not self.deployment.multicast.has(group_id):
+                # Deleted by a re-level promotion while this switch was
+                # excised; reconciliation re-levels it instead.
+                continue
             group = self.deployment.multicast.get(group_id)
             if name not in group.members:
                 group.add(name)
@@ -884,6 +908,7 @@ class CentralController:
         if rejoined:
             event.ewo_rejoined_at = self.sim.now
         self._rejoin_chains(name, event, wiped=False)
+        self.deployment.releveler.reconcile_recovery(self, manager)
 
     def _rejoin_chains(self, name: str, event: RecoveryEvent, wiped: bool) -> None:
         """Re-append ``name`` to every chain it replicates, in catch-up

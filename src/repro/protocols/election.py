@@ -191,6 +191,22 @@ class ControllerCluster:
             self.replicas.append(CentralController(self, replica_id))
         self.activate(self.replicas[0], initial=True)
 
+    def rebind_observability(self) -> None:
+        """Re-capture the deployment's observability hooks on the
+        cluster and every replica (``Deployment.rebind_observability``)."""
+        metrics = self.deployment.metrics
+        self._m_leader_changes = metrics.counter(
+            "controller.leader_changes", "controller"
+        )
+        self._m_lease_expiries = metrics.counter(
+            "controller.lease_expiries", "controller"
+        )
+        self._m_reconstruction = metrics.histogram(
+            "controller.reconstruction_latency_seconds", "controller"
+        )
+        for replica in self.replicas:
+            replica._bind_observability()
+
     # ------------------------------------------------------------------
     # Leadership bookkeeping
     # ------------------------------------------------------------------

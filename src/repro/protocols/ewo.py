@@ -158,19 +158,29 @@ class EwoEngine:
         self.sync_period = sync_period
         self.groups: Dict[int, EwoGroupState] = {}
         self._sync_rng = manager.rng.stream(f"ewo-sync:{self.switch.name}")
+        self._bind_observability()
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks.
+
+        Called at construction and again by
+        ``Deployment.rebind_observability``; the engine caches these
+        (hot-path flag checks), so late hook swaps must go through the
+        rebind API rather than assigning deployment attributes directly.
+        """
         # Live telemetry (repro.obs): sync/update volume and merge
         # outcomes, labelled by this switch.  All no-ops when metrics
         # are off.
-        metrics = manager.deployment.metrics
+        metrics = self.manager.deployment.metrics
         self._metrics_on = metrics.enabled
         # Causal tracing: one trace per update broadcast / sync round,
         # merge spans fan in at the receivers (repro.obs.flightrec).
-        self._causal = manager.causal
-        self._flightrec = manager.deployment.flight_recorder
+        self._causal = self.manager.causal
+        self._flightrec = self.manager.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
         # Access-pattern profiler (repro.obs.accessprof): local writes
         # and merge outcomes feed it; passive and digest-neutral.
-        self._accessprof = manager.deployment.access_profiler
+        self._accessprof = self.manager.deployment.access_profiler
         self._accessprof_on = self._accessprof.enabled
         self._m_sync_packets = metrics.counter("ewo.sync_packets", self.switch.name)
         self._m_sync_bytes = metrics.counter("ewo.sync_bytes", self.switch.name)
@@ -191,6 +201,41 @@ class EwoEngine:
         state = EwoGroupState(spec, self.switch.memory, members, my_slot, clock)
         self.groups[spec.group_id] = state
         return state
+
+    def remove_group(self, group_id: int) -> None:
+        """Detach a group from this engine (re-level teardown).
+
+        Unflushed local entries are dropped — the re-leveling
+        coordinator flushes and waits out the settle window before
+        switching, so in the normal path there are none.  Frees the
+        group's memory budget; removing an absent group is a no-op so a
+        resumed handoff can replay the command.  Straggler
+        ``EwoUpdate``/``EwoSync`` packets that arrive after removal are
+        already ignored by ``handle_update``/``handle_sync``.
+        """
+        state = self.groups.pop(group_id, None)
+        if state is not None:
+            self.switch.memory.release(f"ewo-store:{state.spec.name}")
+
+    def seed_group(self, group_id: int, entries: List[Tuple[Any, Any]], stamp: Timestamp) -> None:
+        """Install drained authoritative values into a fresh LWW group.
+
+        Every replica seeds the same ``(key, value)`` list under the
+        same controller-issued ``stamp``, so seeded cells are
+        byte-identical across the group (digest-identical replays) and
+        carry ``node_id >= 0`` — the "ever written" marker — so sync
+        rounds gossip them.  Witnessing the stamp keeps each replica's
+        hybrid clock ahead of it: the first post-switch local write
+        always wins LWW against the seed.
+        """
+        state = self.groups[group_id]
+        if state.spec.ewo_mode is not EwoMode.LWW:
+            raise ValueError(
+                f"can only seed LWW groups, not {state.spec.ewo_mode}"
+            )
+        state.clock.witness(stamp)
+        for key, value in entries:
+            state.cell_for(key).merge(value, stamp)
 
     # ------------------------------------------------------------------
     # Local operations (paper 6.2: reads local, writes local + async)
@@ -560,7 +605,9 @@ class EwoEngine:
 
     def _pick_sync_target(self, group_id: int) -> Optional[str]:
         registry = self.switch.multicast
-        if registry is None:
+        if registry is None or not registry.has(group_id):
+            # The group can vanish mid-round when a re-level promotes it
+            # to SRO and deletes the multicast fan-out.
             return None
         others = registry.get(group_id).others(self.switch.name)
         if not others:

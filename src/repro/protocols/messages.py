@@ -361,7 +361,7 @@ class ControllerCommand:
     """
 
     epoch: int
-    kind: str  # "set_chain" | "set_catching_up"
+    kind: str  # "set_chain" | "set_catching_up" | "relevel_fence" | "relevel_switch" | "relevel_unfence"
     group: int
     payload: Any = None
     #: Frozen, so the trace is supplied at construction time.

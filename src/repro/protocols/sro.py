@@ -155,6 +155,8 @@ class SroStats:
         "chain_updates_seen",
         "duplicate_updates",
         "out_of_order_drops",
+        "reorder_stashed",
+        "reorder_applied",
         "fenced_updates",
         "acks_seen",
         "write_latency_sum",
@@ -216,6 +218,19 @@ class SroGroupState:
         )
         #: Catch-up mode: gap-tolerant apply during recovery (section 6.3).
         self.catching_up = False
+        #: Bounded reorder stash: (slot, seq) -> ChainUpdate held until
+        #: its gap fills.  A delayed/reordered update used to be dropped
+        #: on arrival, leaving every later sequence number to heal one
+        #: writer-retry round at a time — under bursty write-per-packet
+        #: load a single reordered packet convoyed the whole slot behind
+        #: exponential backoffs until writers exhausted their attempts
+        #: and wedged the chain permanently.  Holding the update for the
+        #: one missing predecessor instead heals in transit.  Modeled as
+        #: recirculation (the update keeps a pipeline pass, like the
+        #: section 9 buffering variant), so it costs no register budget;
+        #: FIFO-bounded, stale entries are evicted first.
+        self.reorder: "OrderedDict[Tuple[int, int], Any]" = OrderedDict()
+        self.reorder_capacity = 64
         self.stats = SroStats()
         #: Chaos hook (``FaultInjector.drop_chain_applies``): while > 0,
         #: this member's dataplane silently loses chain-update applies
@@ -284,25 +299,42 @@ class SroEngine:
         # the head).  A per-switch named stream keeps replays
         # byte-identical per seed.
         self._backoff_rng = manager.rng.stream(f"sro-backoff:{self.switch.name}")
+        self._bind_observability()
+        self._dedup_evictions_reported = 0
+        # Data-plane write-buffering state and accounting (section 9).
+        self._dp_holds: Dict[WriteToken, _DataplaneHold] = {}
+        self.dp_holds_created = 0
+        self.dp_recirculations = 0
+        self.dp_resends = 0
+        self.dp_drops = 0
+
+    def _bind_observability(self) -> None:
+        """Capture the deployment's observability hooks.
+
+        Called at construction and again by
+        ``Deployment.rebind_observability``; engines deliberately cache
+        these (hot-path flag checks), so any late hook swap must go
+        through the rebind API rather than assigning deployment
+        attributes directly.
+        """
         # Live telemetry (repro.obs): engine-level gauges plus per-group
-        # instruments bound in add_group.  The deployment sets its
-        # registry before constructing managers, so this sees the real
-        # one; all of it degrades to no-op singletons when metrics are off.
-        metrics = manager.deployment.metrics
+        # instruments bound in add_group; all of it degrades to no-op
+        # singletons when metrics are off.
+        metrics = self.manager.deployment.metrics
         self._metrics_on = metrics.enabled
         # Causal tracing (repro.obs.causal / flightrec): contexts are
         # stamped unconditionally (pure counters, digest-neutral), span
         # *recording* is gated on the deployment's flight recorder.
-        self._causal = manager.causal
-        self._flightrec = manager.deployment.flight_recorder
+        self._causal = self.manager.causal
+        self._flightrec = self.manager.deployment.flight_recorder
         self._flightrec_on = self._flightrec.enabled
         # Access-pattern profiler (repro.obs.accessprof): write initiates
         # and chain applies feed it; passive and digest-neutral.
-        self._accessprof = manager.deployment.access_profiler
+        self._accessprof = self.manager.deployment.access_profiler
         self._accessprof_on = self._accessprof.enabled
         # Live SLO monitor (repro.obs.slo): commit latencies and write
         # outcomes feed it; passive and digest-neutral.
-        self._slo = manager.deployment.slo_monitor
+        self._slo = self.manager.deployment.slo_monitor
         self._slo_on = self._slo.enabled
         self._m_outstanding = metrics.gauge("sro.outstanding_writes", self.switch.name)
         self._m_pending = metrics.gauge("sro.pending_bits", self.switch.name)
@@ -315,13 +347,6 @@ class SroEngine:
         self._m_retries = metrics.counter("sro.write_retries", self.switch.name)
         self._m_dedup_occupancy = metrics.gauge("sro.dedup_occupancy", self.switch.name)
         self._m_dedup_evictions = metrics.counter("sro.dedup_evictions", self.switch.name)
-        self._dedup_evictions_reported = 0
-        # Data-plane write-buffering state and accounting (section 9).
-        self._dp_holds: Dict[WriteToken, _DataplaneHold] = {}
-        self.dp_holds_created = 0
-        self.dp_recirculations = 0
-        self.dp_resends = 0
-        self.dp_drops = 0
 
     # ------------------------------------------------------------------
     # Group lifecycle
@@ -330,6 +355,72 @@ class SroEngine:
         state = SroGroupState(spec, self.switch.memory, chain)
         self.groups[spec.group_id] = state
         return state
+
+    def remove_group(self, group_id: int) -> int:
+        """Detach a group from this engine (re-level teardown).
+
+        The re-leveling coordinator only switches a drained group, so in
+        the normal path nothing is in flight; if a write *is* still
+        outstanding (a crashed writer's abandoned retry), its timer is
+        cancelled and any buffered packet dropped, mirroring
+        ``_give_up``.  Frees the group's memory budget.  Removing an
+        absent group is a no-op so a resumed handoff can replay the
+        command.  Returns the number of abandoned writes.
+        """
+        state = self.groups.pop(group_id, None)
+        if state is None:
+            return 0
+        doomed = [
+            token
+            for token, outstanding in self._outstanding.items()
+            if outstanding.request.group == group_id
+        ]
+        for token in doomed:
+            outstanding = self._outstanding.pop(token)
+            if outstanding.timer is not None:
+                outstanding.timer.cancel()
+            barrier = outstanding.barrier
+            if barrier is not None and barrier.token is not None:
+                self._dp_holds.pop(barrier.token, None)
+                self.switch.control.drop_buffered(barrier.token)
+        if self._metrics_on:
+            self._m_outstanding.set(len(self._outstanding))
+            still_pending = state.pending.pending_count()
+            if state.track_pending and still_pending:
+                self._m_pending.dec(still_pending)
+        budget = self.switch.memory
+        budget.release(f"sro-store:{state.spec.name}")
+        budget.release(f"sro-dedup:{state.spec.name}")
+        budget.release(f"pending:{state.spec.name}")
+        return len(doomed)
+
+    def quiesced(self, group_id: int) -> bool:
+        """True when the group has no write in flight on this switch:
+        no pending bit set and no outstanding writer state.  The drain
+        phase of a re-level polls this on every member."""
+        state = self.groups.get(group_id)
+        if state is None:
+            return True
+        if state.pending.pending_count():
+            return False
+        return not any(
+            outstanding.request.group == group_id
+            for outstanding in self._outstanding.values()
+        )
+
+    def set_track_pending(self, group_id: int, value: bool) -> None:
+        """Flip SRO<->ERO pending-bit tracking for a live group.
+
+        Turning tracking off (SRO -> ERO) clears every pending bit so
+        reads stop forwarding on stale in-flight markers."""
+        state = self.groups[group_id]
+        if state.track_pending == value:
+            return
+        state.track_pending = value
+        if not value:
+            cleared = state.pending.clear_all()
+            if cleared and self._metrics_on:
+                self._m_pending.dec(cleared)
 
     def set_chain(self, group_id: int, chain: ChainDescriptor) -> None:
         """Install a new chain descriptor (controller reconfiguration)."""
@@ -968,20 +1059,35 @@ class SroEngine:
                     catchup=True,
                 )
         else:
-            # A gap: a predecessor's update was lost.  Drop; the writer's
-            # control-plane retry re-propagates in order.
-            stats.out_of_order_drops += 1
-            if self._flightrec_on:
-                self._flightrec.record(
-                    ctx,
-                    "sro.chain.ooo_drop",
-                    self.switch.name,
-                    self.sim.now,
-                    group=update.group,
-                    key=update.key,
-                    seq=update.seq,
-                    applied=applied,
-                )
+            # A gap: a predecessor's update is missing.  Stash this one
+            # (bounded) and apply it the moment the gap fills — either
+            # the predecessor's delayed packet or its writer's retry.
+            # Only a full stash degrades to the old drop-and-wait-for-
+            # retry behavior.
+            stash_key = (slot, update.seq)
+            if stash_key not in state.reorder:
+                if len(state.reorder) >= state.reorder_capacity:
+                    state.reorder.popitem(last=False)
+                    stats.out_of_order_drops += 1
+                state.reorder[stash_key] = update
+                stats.reorder_stashed += 1
+                # Re-stamp the update onto the stash span: when the gap
+                # fills, its apply parents to the stash on this node, so
+                # the critical-path analyzer sees the residency as a
+                # wait (split against leaderless windows) instead of an
+                # impossibly slow network hop.
+                if self._flightrec_on:
+                    self._flightrec.record(
+                        ctx,
+                        "sro.chain.reorder_stash",
+                        self.switch.name,
+                        self.sim.now,
+                        group=update.group,
+                        key=update.key,
+                        seq=update.seq,
+                        applied=applied,
+                    )
+                update.trace = ctx
             return
         successor = update.next_hop_after(self.switch.name)
         if successor is not None:
@@ -1012,6 +1118,23 @@ class SroEngine:
             self.switch.forward_to_node(packet, successor)
         elif is_tail:
             self._emit_acks(state, update, ctx)
+        if state.reorder:
+            # The apply above may have filled the gap a stashed
+            # successor was waiting on: purge entries made stale by the
+            # advance, then re-process the next in-order update as if
+            # its packet just arrived (it applies and keeps draining).
+            now_applied = state.pending.applied_seq(slot)
+            stale_keys = [
+                stash_key
+                for stash_key in state.reorder
+                if stash_key[0] == slot and stash_key[1] <= now_applied
+            ]
+            for stash_key in stale_keys:
+                del state.reorder[stash_key]
+            follow = state.reorder.pop((slot, now_applied + 1), None)
+            if follow is not None:
+                stats.reorder_applied += 1
+                self._process_chain_update(follow)
 
     def _emit_acks(
         self, state: SroGroupState, update: ChainUpdate, ctx: Any = None

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import bisect
 import random
+import warnings
 from typing import List, Sequence, TypeVar
+
+from repro.sim.random import derive_seed
 
 __all__ = ["ZipfSampler"]
 
@@ -28,7 +31,21 @@ class ZipfSampler:
             raise ValueError("Zipf exponent must be non-negative")
         self.n = n
         self.s = s
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            # Two samplers built without an rng used to share
+            # random.Random(0) draws, correlating supposedly independent
+            # workloads in one scenario.  Callers should pass a stream
+            # from SeededRng.stream(); the fallback stays only for old
+            # call sites and now derives a named seed so it is at least
+            # uncorrelated with other derived streams.
+            warnings.warn(
+                "ZipfSampler() without rng= is deprecated; pass a derived "
+                "stream from repro.sim.random.SeededRng.stream()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            rng = random.Random(derive_seed(0, "zipf-sampler-default"))
+        self._rng = rng
         weights = [1.0 / (rank + 1) ** s for rank in range(n)]
         total = sum(weights)
         self._cdf: List[float] = []

@@ -67,15 +67,39 @@ class TestViolationsCaught:
     @pytest.mark.parametrize(
         "source",
         [
-            "import random\nrng = random.Random(7)\n",
-            "from random import Random\nrng = Random(7)\n",
+            # derived seeds are the sanctioned construction
+            "import random\nrng = random.Random(derive_seed(0, 'x'))\n",
+            "import random\nrng = random.Random(seed)\n",
+            "from random import Random\nrng = Random(derive_seed(1, 'y'))\n",
+            # no-arg Random() seeds from the OS; out of this rule's scope
+            "import random\nrng = random.Random()\n",
             "from repro.sim.random import SeededRng\n",
             # attribute named like the module on another object is fine
             "class C:\n    random = 1\nc = C()\nc.random\n",
+            # a different class merely named Random is not random.Random
+            "class Random:\n    pass\nrng = Random(7)\n",
         ],
     )
     def test_seeded_use_allowed(self, tmp_path, source):
         assert self._lint_source(tmp_path, source) == []
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrng = random.Random(7)\n",
+            "import random\nrng = random.Random(0)\n",
+            "from random import Random\nrng = Random(7)\n",
+            "from random import Random as R\nrng = R(42)\n",
+            "import random as rnd\nrng = rnd.Random('salt')\n",
+        ],
+    )
+    def test_literal_seed_flagged(self, tmp_path, source):
+        violations = self._lint_source(tmp_path, source)
+        assert len(violations) == 1
+        path, line, message = violations[0]
+        assert line > 0
+        assert "literal seed" in message
+        assert "derive" in message
 
     @pytest.mark.parametrize(
         "source",

@@ -207,3 +207,91 @@ class TestOrderingUnderLoss:
         stats = dep.manager("s1").sro.stats_for(spec.group_id)
         assert stats.retries > 0
         assert stats.writes_committed == 20
+
+
+class TestReorderStash:
+    """Regression: a reordered chain update must not wedge its slot.
+
+    The gap branch used to *drop* an update that arrived ahead of a
+    missing predecessor, leaving every later sequence number in the
+    slot to heal one writer-retry round at a time; under a bursty
+    same-key write stream a single reordered packet convoyed the slot
+    behind exponential backoffs until writers exhausted their attempts
+    and the chain wedged permanently.  Members now hold the update in
+    a bounded reorder stash and apply it the instant the gap fills."""
+
+    def _reordering_deployment(self, make_deployment):
+        from repro.chaos import Nemesis
+
+        dep, topo, _ = make_deployment(3)
+        # Delay every SwiShmem packet by up to 50us: back-to-back writes
+        # to one slot are spaced ~µs apart, so reorders are guaranteed.
+        Nemesis(seed=7, duplicate_prob=0.3, delay_prob=1.0, max_delay=50e-6).install(
+            topo
+        )
+        return dep
+
+    def test_burst_to_one_key_commits_every_write(self, make_deployment):
+        dep = self._reordering_deployment(make_deployment)
+        spec = dep.declare(RegisterSpec("reg", Consistency.SRO))
+        writer = dep.manager("s2")
+        for i in range(40):
+            dep.sim.schedule(
+                i * 2e-6, writer.register_write, spec, "hot", i, label="burst"
+            )
+        dep.sim.run(until=2.0)
+        stats = writer.sro.stats_for(spec.group_id)
+        assert stats.writes_failed == 0
+        assert stats.writes_committed == 40
+        stores = dep.sro_stores(spec)
+        assert all(store.get("hot") == stores[0].get("hot") for store in stores)
+        # The stash did the healing: reorders were absorbed in transit.
+        stashed = sum(
+            dep.manager(f"s{i}").sro.stats_for(spec.group_id).reorder_stashed
+            for i in range(3)
+        )
+        assert stashed > 0
+
+    def test_chain_quiesces_after_reordered_burst(self, make_deployment):
+        # The releveling drain polls quiesced(); a wedged slot would
+        # park every future drain of this group forever.
+        dep = self._reordering_deployment(make_deployment)
+        spec = dep.declare(RegisterSpec("reg", Consistency.SRO))
+        for i in range(40):
+            dep.sim.schedule(
+                i * 2e-6,
+                dep.manager(f"s{i % 3}").register_write,
+                spec,
+                "hot",
+                i,
+                label="burst",
+            )
+        dep.sim.run(until=2.0)
+        for i in range(3):
+            manager = dep.manager(f"s{i}")
+            assert manager.sro.quiesced(spec.group_id)
+            assert not manager.sro.groups[spec.group_id].reorder
+
+    def test_stash_is_bounded(self, make_deployment):
+        dep, _, _ = make_deployment(3)
+        spec = dep.declare(RegisterSpec("reg", Consistency.SRO))
+        state = dep.manager("s1").sro.groups[spec.group_id]
+        assert state.reorder_capacity == 64
+        # Overflow degrades to the old drop behavior, never unbounded.
+        from repro.protocols.messages import ChainUpdate
+
+        chain = tuple(dep.chains[spec.group_id].members)
+        for seq in range(2, 2 + state.reorder_capacity + 8):
+            dep.manager("s1").sro._process_chain_update(
+                ChainUpdate(
+                    group=spec.group_id,
+                    key="k",
+                    value=seq,
+                    seq=seq,
+                    slot=state.pending.slot_of("k"),
+                    token=None,
+                    chain=chain,
+                )
+            )
+        assert len(state.reorder) == state.reorder_capacity
+        assert state.stats.out_of_order_drops == 8

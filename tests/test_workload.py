@@ -37,7 +37,7 @@ class TestZipf:
             assert 0.2 < share < 0.3
 
     def test_probability_sums_to_one(self):
-        sampler = ZipfSampler(10, s=1.0)
+        sampler = ZipfSampler(10, s=1.0, rng=SeededRng(4).stream("z"))
         total = sum(sampler.probability(rank) for rank in range(10))
         assert total == pytest.approx(1.0)
 
@@ -52,13 +52,23 @@ class TestZipf:
         b = ZipfSampler(50, s=1.0, rng=SeededRng(7).stream("z")).sample_many(100)
         assert a == b
 
+    def test_missing_rng_deprecated(self):
+        """Omitting rng= used to silently share random.Random(0) draws
+        between unrelated samplers; now it warns and derives a seed."""
+        with pytest.warns(DeprecationWarning, match="SeededRng"):
+            sampler = ZipfSampler(10, s=1.0)
+        draws = sampler.sample_many(10)
+        assert all(0 <= d < 10 for d in draws)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ZipfSampler(0)
         with pytest.raises(ValueError):
             ZipfSampler(5, s=-1)
+        with pytest.warns(DeprecationWarning):
+            sampler = ZipfSampler(5)
         with pytest.raises(IndexError):
-            ZipfSampler(5).probability(9)
+            sampler.probability(9)
 
 
 def world_with_client():

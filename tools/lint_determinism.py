@@ -19,6 +19,10 @@ This lint walks the AST of every Python file and flags:
   alias) other than ``random.Random`` — constructing an explicitly
   seeded instance is the one sanctioned use;
 * any ``from random import X`` where ``X`` is not ``Random``;
+* any ``random.Random(<literal>)`` construction — a hard-coded seed
+  (``random.Random(0)``) correlates supposedly independent streams and
+  hides from the experiment-seed sweep; seeds must be derived, e.g.
+  ``random.Random(derive_seed(root, name))`` or ``SeededRng.stream()``;
 * any ``sys.path.insert(...)`` / ``sys.path.append(...)`` whose path
   argument is a *relative* string literal (``"."``, ``""``, ``".."``,
   ``"src"``...) — ``__file__``-derived expressions are fine.
@@ -89,6 +93,7 @@ class _RandomUseVisitor(ast.NodeVisitor):
         # float sums over unordered dict iteration.
         self.check_wallclock = check_wallclock
         self.aliases: set = set()
+        self.random_class_aliases: set = set()
         self.sys_aliases: set = set()
         self.time_aliases: set = set()
         self.datetime_aliases: set = set()
@@ -132,9 +137,40 @@ class _RandomUseVisitor(ast.NodeVisitor):
                     f"derive the path from __file__ instead "
                     f"(see benchmarks/common.py)",
                 ))
+        self._check_literal_seed(node)
         if self.check_wallclock:
             self._check_unordered_sum(node)
         self.generic_visit(node)
+
+    def _check_literal_seed(self, node: ast.Call) -> None:
+        """Flag ``random.Random(<literal>)`` under any import alias.
+
+        A hard-coded seed silently correlates streams (two components
+        seeded with 0 produce identical draws) and pins the component
+        outside the experiment seed sweep.  Seeds must be derived:
+        ``random.Random(derive_seed(root, name))`` or
+        ``SeededRng.stream(name)`` (see src/repro/sim/random.py).
+        """
+        func = node.func
+        is_random_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == ALLOWED_ATTR
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.aliases
+        ) or (
+            isinstance(func, ast.Name) and func.id in self.random_class_aliases
+        )
+        if not is_random_ctor or not node.args:
+            return
+        seed_arg = node.args[0]
+        if isinstance(seed_arg, ast.Constant):
+            self.violations.append((
+                self.path,
+                node.lineno,
+                f"random.Random({seed_arg.value!r}) with a literal seed "
+                f"correlates independent streams; derive the seed instead "
+                f"(repro.sim.random.derive_seed / SeededRng.stream)",
+            ))
 
     @staticmethod
     def _unordered_dict_iter(expr: ast.expr) -> str:
@@ -179,7 +215,9 @@ class _RandomUseVisitor(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random" and node.level == 0:
             for alias in node.names:
-                if alias.name != ALLOWED_ATTR:
+                if alias.name == ALLOWED_ATTR:
+                    self.random_class_aliases.add(alias.asname or alias.name)
+                else:
                     self.violations.append((
                         self.path,
                         node.lineno,
